@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadObjects(t *testing.T) {
+	path := writeFile(t, "objects.csv", "id,x,y\n1,0.5,0.25\n2,0.1,0.9\n\n")
+	objs, err := loadObjects(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+	if objs[0].ID != 1 || objs[0].X != 0.5 || objs[0].Y != 0.25 {
+		t.Errorf("first object = %+v", objs[0])
+	}
+}
+
+func TestLoadObjectsBadRow(t *testing.T) {
+	path := writeFile(t, "objects.csv", "id,x,y\nnot-a-number,0.5,0.25\n")
+	if _, err := loadObjects(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+	path = writeFile(t, "short.csv", "id,x,y\n1,0.5\n")
+	if _, err := loadObjects(path); err == nil {
+		t.Fatal("expected column-count error")
+	}
+	if _, err := loadObjects(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("expected open error")
+	}
+}
+
+func TestLoadFeatures(t *testing.T) {
+	path := writeFile(t, "features.csv",
+		"id,x,y,score,keywords\n7,0.3,0.4,0.9,pizza;italian\n8,0.6,0.7,0.5,sushi\n")
+	feats, err := loadFeatures(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 {
+		t.Fatalf("got %d features", len(feats))
+	}
+	f := feats[0]
+	if f.ID != 7 || f.Score != 0.9 || len(f.Keywords) != 2 || f.Keywords[1] != "italian" {
+		t.Errorf("feature = %+v", f)
+	}
+}
+
+func TestStringListFlag(t *testing.T) {
+	var s stringList
+	_ = s.Set("a")
+	_ = s.Set("b")
+	if len(s) != 2 || s.String() != "a,b" {
+		t.Errorf("stringList = %v", s)
+	}
+}

@@ -1,0 +1,233 @@
+// Command stpqbench regenerates every table and figure of the paper's
+// experimental evaluation (Section 8): Table 3 and Figures 7–14. Each
+// experiment sweeps one dataset or query parameter, averages the execution
+// time of a random query workload, and prints the time split into modeled
+// I/O and measured CPU — the paper's dark/white stacked bars.
+//
+// Usage:
+//
+//	stpqbench -exp all                 # everything (long)
+//	stpqbench -exp fig8 -queries 200   # one experiment
+//	stpqbench -exp table3 -scale 0.1   # shrink datasets 10x for a quick run
+//
+// Defaults follow Table 2's bold entries: |O| = |F_i| = 100K, c = 2, 128
+// indexed keywords, r = 0.01, k = 10, λ = 0.5, 3 queried keywords. The
+// -scale flag multiplies dataset cardinalities (the paper's absolute
+// sizes are reproduced with -scale 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"stpq/internal/core"
+	"stpq/internal/datagen"
+	"stpq/internal/index"
+	"stpq/internal/storage"
+)
+
+// experiment parameter defaults (Table 2, bold).
+const (
+	defObjects  = 100_000
+	defFeatures = 100_000
+	defSets     = 2
+	defVocab    = 128
+	defRadius   = 0.01
+	defK        = 10
+	defLambda   = 0.5
+	defQKw      = 3
+)
+
+// bench bundles the run-wide configuration.
+type bench struct {
+	queries       int
+	table3Queries int
+	scale         float64
+	seed          int64
+	cost          storage.CostModel
+	buffer        int
+
+	datasets map[string]*datagen.Dataset
+	engines  map[string]*core.Engine
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stpqbench: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14")
+		queries = flag.Int("queries", 100, "queries per data point (the paper used 1000)")
+		t3q     = flag.Int("table3queries", 3, "queries per STDS data point (STDS is slow by design)")
+		scale   = flag.Float64("scale", 1.0, "dataset cardinality multiplier")
+		seed    = flag.Int64("seed", 1, "random seed")
+		iocost  = flag.Duration("iocost", 100*time.Microsecond, "modeled cost per physical page read")
+		buffer  = flag.Int("buffer", 256, "buffer pool pages per index")
+	)
+	flag.Parse()
+
+	b := &bench{
+		queries:       *queries,
+		table3Queries: *t3q,
+		scale:         *scale,
+		seed:          *seed,
+		cost:          storage.CostModel{PerPage: *iocost},
+		buffer:        *buffer,
+		datasets:      make(map[string]*datagen.Dataset),
+		engines:       make(map[string]*core.Engine),
+	}
+
+	all := map[string]func(){
+		"table3":  b.table3,
+		"fig10cd": b.fig10cd,
+		"fig13a":  b.fig13a,
+		"fig13b":  b.fig13b,
+		"fig7":    b.fig7,
+		"fig8":    b.fig8,
+		"fig9":    b.fig9,
+		"fig10":   b.fig10,
+		"fig11":   b.fig11,
+		"fig12":   b.fig12,
+		"fig13":   b.fig13,
+		"fig14":   b.fig14,
+	}
+	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+
+	start := time.Now()
+	if *exp == "all" {
+		for _, name := range order {
+			all[name]()
+		}
+	} else if fn, ok := all[*exp]; ok {
+		fn()
+	} else {
+		log.Printf("unknown experiment %q", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// scaled applies the -scale factor with a floor.
+func (b *bench) scaled(n int) int {
+	v := int(float64(n) * b.scale)
+	if v < 1000 {
+		v = 1000
+	}
+	return v
+}
+
+// synthetic returns (building and caching) the synthetic dataset with the
+// given cardinalities.
+func (b *bench) synthetic(objects, features, sets, vocab int) *datagen.Dataset {
+	key := fmt.Sprintf("syn/%d/%d/%d/%d", objects, features, sets, vocab)
+	if ds, ok := b.datasets[key]; ok {
+		return ds
+	}
+	clusters := int(10_000 * b.scale)
+	if clusters < 200 {
+		clusters = 200
+	}
+	ds := datagen.Synthetic(datagen.SyntheticConfig{
+		Objects: objects, FeaturesPerSet: features, FeatureSets: sets,
+		Vocab: vocab, Clusters: clusters, Seed: b.seed,
+	})
+	b.datasets[key] = ds
+	return ds
+}
+
+// real returns the Factual-like dataset.
+func (b *bench) real() *datagen.Dataset {
+	key := "real"
+	if ds, ok := b.datasets[key]; ok {
+		return ds
+	}
+	ds := datagen.RealLike(datagen.RealLikeConfig{
+		Hotels:      b.scaled(25_000),
+		Restaurants: b.scaled(79_000),
+		Seed:        b.seed,
+	})
+	b.datasets[key] = ds
+	return ds
+}
+
+// engine builds (and caches) an engine over ds with the given index kind.
+func (b *bench) engine(dsKey string, ds *datagen.Dataset, kind index.Kind) *core.Engine {
+	key := fmt.Sprintf("%s/%v", dsKey, kind)
+	if e, ok := b.engines[key]; ok {
+		return e
+	}
+	opts := index.Options{Kind: kind, VocabWidth: ds.VocabWidth, BufferPages: b.buffer}
+	oidx, err := index.BuildObjectIndex(ds.Objects, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fidxs := make([]*index.FeatureIndex, len(ds.FeatureSets))
+	for i, fs := range ds.FeatureSets {
+		fidxs[i], err = index.BuildFeatureIndex(fs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(oidx, fidxs, core.Options{BatchSTDS: true, CostModel: b.cost})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.engines[key] = e
+	return e
+}
+
+// dsKeyOf reconstructs the dataset cache key for engine caching.
+func dsKeyOf(ds *datagen.Dataset) string {
+	return fmt.Sprintf("%p", ds)
+}
+
+// run executes the workload and returns per-query average stats.
+func run(e *core.Engine, alg string, qs []core.Query) core.Stats {
+	var acc core.Stats
+	for _, q := range qs {
+		var (
+			st  core.Stats
+			err error
+		)
+		if alg == "stds" {
+			_, st, err = e.STDS(q)
+		} else {
+			_, st, err = e.STPS(q)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc.Add(st)
+	}
+	return acc.Scale(len(qs))
+}
+
+// cell formats a stats cell as "io+cpu=total" in milliseconds.
+func cell(st core.Stats) string {
+	return fmt.Sprintf("%7.1f+%7.1f=%8.1f",
+		ms(st.IOTime), ms(st.CPUTime), ms(st.Total()))
+}
+
+// vorCell formats an NN-variant cell with the Voronoi share marked (the
+// striped bar segments of Figures 13–14).
+func (b *bench) vorCell(st core.Stats) string {
+	return fmt.Sprintf("%8.1f (voronoi: io %6.1f cpu %6.1f)",
+		ms(st.Total()), ms(b.cost.IOTime(st.VoronoiReads)), ms(st.VoronoiCPUTime))
+}
+
+// ms converts a duration to milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// header prints a section header.
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// line prints one sweep row.
+func line(label string, cols ...string) {
+	fmt.Printf("%-28s %s\n", label, strings.Join(cols, "  "))
+}

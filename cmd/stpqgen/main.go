@@ -1,0 +1,117 @@
+// Command stpqgen generates the evaluation datasets of the paper to CSV
+// files: the synthetic clustered dataset or the Factual-like real-data
+// surrogate (hotels + restaurants over 13 states, ~130 cuisine keywords).
+//
+// Usage:
+//
+//	stpqgen -kind synthetic -objects 100000 -features 100000 -sets 2 -out data/
+//	stpqgen -kind real -out data/
+//
+// Output files: <out>/objects.csv (id,x,y) and one
+// <out>/features_<i>.csv per feature set (id,x,y,score,kw1;kw2;...).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stpq/internal/datagen"
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stpqgen: ")
+	var (
+		kind     = flag.String("kind", "synthetic", "dataset kind: synthetic | real")
+		objects  = flag.Int("objects", 100_000, "number of data objects |O| (synthetic)")
+		features = flag.Int("features", 100_000, "feature objects per set |F_i| (synthetic)")
+		sets     = flag.Int("sets", 2, "number of feature sets c (synthetic)")
+		vocab    = flag.Int("vocab", 256, "distinct indexed keywords (synthetic)")
+		clusters = flag.Int("clusters", 10_000, "number of clusters (synthetic)")
+		hotels   = flag.Int("hotels", 25_000, "number of hotels (real)")
+		rests    = flag.Int("restaurants", 79_000, "number of restaurants (real)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var (
+		ds    *datagen.Dataset
+		vocbW int
+		names func(kwset.Set) []string
+	)
+	switch *kind {
+	case "synthetic":
+		ds = datagen.Synthetic(datagen.SyntheticConfig{
+			Objects: *objects, FeaturesPerSet: *features, FeatureSets: *sets,
+			Vocab: *vocab, Clusters: *clusters, Seed: *seed,
+		})
+		vocbW = ds.VocabWidth
+		// Synthetic keywords are abstract ids: name them kw<id>.
+		names = func(s kwset.Set) []string {
+			var out []string
+			s.ForEach(func(id int) { out = append(out, fmt.Sprintf("kw%d", id)) })
+			return out
+		}
+	case "real":
+		ds = datagen.RealLike(datagen.RealLikeConfig{Hotels: *hotels, Restaurants: *rests, Seed: *seed})
+		vocbW = ds.VocabWidth
+		voc := datagen.CuisineVocabulary()
+		names = func(s kwset.Set) []string { return voc.Decode(s) }
+	default:
+		log.Fatalf("unknown -kind %q", *kind)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeObjects(filepath.Join(*out, "objects.csv"), ds); err != nil {
+		log.Fatal(err)
+	}
+	for i, fs := range ds.FeatureSets {
+		path := filepath.Join(*out, fmt.Sprintf("features_%d.csv", i+1))
+		if err := writeFeatures(path, fs, names); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d objects and %d feature sets (vocab %d) to %s\n",
+		len(ds.Objects), len(ds.FeatureSets), vocbW, *out)
+}
+
+// writeObjects emits id,x,y rows.
+func writeObjects(path string, ds *datagen.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "id,x,y")
+	for _, o := range ds.Objects {
+		fmt.Fprintf(w, "%d,%g,%g\n", o.ID, o.Location.X, o.Location.Y)
+	}
+	return w.Flush()
+}
+
+// writeFeatures emits id,x,y,score,kw1;kw2 rows.
+func writeFeatures(path string, fs []index.Feature, names func(kwset.Set) []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "id,x,y,score,keywords")
+	for _, t := range fs {
+		fmt.Fprintf(w, "%d,%g,%g,%g,%s\n", t.ID, t.Location.X, t.Location.Y, t.Score,
+			strings.Join(names(t.Keywords), ";"))
+	}
+	return w.Flush()
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stpq/internal/datagen"
+	"stpq/internal/kwset"
+)
+
+func TestWriteObjectsAndFeatures(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.Synthetic(datagen.SyntheticConfig{
+		Objects: 50, FeaturesPerSet: 30, FeatureSets: 1, Vocab: 8, Clusters: 5, Seed: 1,
+	})
+	objPath := filepath.Join(dir, "objects.csv")
+	if err := writeObjects(objPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 51 { // header + 50 rows
+		t.Fatalf("objects.csv has %d lines", len(lines))
+	}
+	if lines[0] != "id,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+
+	featPath := filepath.Join(dir, "features_1.csv")
+	names := func(s kwset.Set) []string {
+		var out []string
+		s.ForEach(func(id int) { out = append(out, "kw") })
+		return out
+	}
+	if err := writeFeatures(featPath, ds.FeatureSets[0], names); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(featPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 31 {
+		t.Fatalf("features csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Errorf("first feature row = %q", lines[1])
+	}
+	// Every row has 5 columns (keywords may contain semicolons, never commas).
+	for _, ln := range lines[1:] {
+		if got := len(strings.SplitN(ln, ",", 5)); got != 5 {
+			t.Fatalf("row %q has %d columns", ln, got)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package stpq_test
+
+import (
+	"fmt"
+	"log"
+
+	"stpq"
+)
+
+// ExampleDB_TopK reproduces the paper's motivating query: hotels with a
+// highly rated Italian restaurant that serves pizza nearby.
+func ExampleDB_TopK() {
+	db := stpq.New(stpq.Config{})
+	db.AddObjects([]stpq.Object{
+		{ID: 1, X: 0.20, Y: 0.20},
+		{ID: 2, X: 0.52, Y: 0.48},
+	})
+	db.AddFeatureSet("restaurants", []stpq.Feature{
+		{ID: 1, X: 0.21, Y: 0.22, Score: 0.9, Keywords: []string{"steak", "bbq"}},
+		{ID: 2, X: 0.50, Y: 0.50, Score: 0.8, Keywords: []string{"pizza", "italian"}},
+	})
+	if err := db.Build(); err != nil {
+		log.Fatal(err)
+	}
+	results, _, err := db.TopK(stpq.Query{
+		K:      2,
+		Radius: 0.1,
+		Lambda: 0.5,
+		Keywords: map[string][]string{
+			"restaurants": {"italian", "pizza"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%d. hotel %d score %.2f\n", i+1, r.ID, r.Score)
+	}
+	// Output:
+	// 1. hotel 2 score 0.90
+	// 2. hotel 1 score 0.00
+}
+
+// ExampleDB_Selectivity shows how to gauge query keyword cost before
+// running a query.
+func ExampleDB_Selectivity() {
+	db := stpq.New(stpq.Config{})
+	db.AddObjects([]stpq.Object{{ID: 1, X: 0.5, Y: 0.5}})
+	db.AddFeatureSet("restaurants", []stpq.Feature{
+		{ID: 1, X: 0.5, Y: 0.5, Score: 0.8, Keywords: []string{"pizza"}},
+		{ID: 2, X: 0.4, Y: 0.4, Score: 0.6, Keywords: []string{"sushi"}},
+		{ID: 3, X: 0.6, Y: 0.6, Score: 0.7, Keywords: []string{"pizza", "pasta"}},
+		{ID: 4, X: 0.3, Y: 0.6, Score: 0.9, Keywords: []string{"tacos"}},
+	})
+	if err := db.Build(); err != nil {
+		log.Fatal(err)
+	}
+	sel, err := db.Selectivity("restaurants", []string{"pizza"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pizza matches %.0f%% of restaurants\n", sel*100)
+	// Output:
+	// pizza matches 50% of restaurants
+}

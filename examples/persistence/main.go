@@ -1,0 +1,86 @@
+// Command persistence demonstrates saving a built database to disk and
+// reopening it: index construction becomes a one-off cost, after which a
+// service can start serving top-k spatio-textual preference queries in
+// milliseconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"stpq"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "stpq-demo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build a moderately sized database.
+	rng := rand.New(rand.NewSource(9))
+	db := stpq.New(stpq.Config{})
+	objs := make([]stpq.Object, 20_000)
+	for i := range objs {
+		objs[i] = stpq.Object{ID: int64(i), X: rng.Float64(), Y: rng.Float64()}
+	}
+	db.AddObjects(objs)
+	menu := []string{"pizza", "sushi", "tacos", "ramen", "bbq", "pho", "curry", "bagels"}
+	feats := make([]stpq.Feature, 30_000)
+	for i := range feats {
+		feats[i] = stpq.Feature{
+			ID: int64(i), X: rng.Float64(), Y: rng.Float64(), Score: rng.Float64(),
+			Keywords: []string{menu[rng.Intn(len(menu))], menu[rng.Intn(len(menu))]},
+		}
+	}
+	db.AddFeatureSet("restaurants", feats)
+
+	start := time.Now()
+	if err := db.Build(); err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	start = time.Now()
+	if err := db.Save(dir); err != nil {
+		log.Fatal(err)
+	}
+	saveTime := time.Since(start)
+
+	// A fresh process would start here.
+	start = time.Now()
+	reopened, err := stpq.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	openTime := time.Since(start)
+
+	q := stpq.Query{
+		K: 5, Radius: 0.02, Lambda: 0.5,
+		Keywords: map[string][]string{"restaurants": {"pizza", "bbq"}},
+	}
+	a, _, err := db.TopK(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, stats, err := reopened.TopK(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+			log.Fatalf("rank %d differs after reopen", i)
+		}
+	}
+
+	fmt.Printf("build:  %v (20k objects + 30k features)\n", buildTime.Round(time.Millisecond))
+	fmt.Printf("save:   %v\n", saveTime.Round(time.Millisecond))
+	fmt.Printf("open:   %v  (%.0fx faster than building)\n",
+		openTime.Round(time.Millisecond), float64(buildTime)/float64(openTime))
+	fmt.Printf("query on reopened DB: top-%d identical to original, %v CPU\n",
+		q.K, stats.CPUTime.Round(time.Microsecond))
+}

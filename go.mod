@@ -1,0 +1,3 @@
+module stpq
+
+go 1.22

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"stpq/internal/geo"
+)
+
+// combination is a valid combination C = {t_1, ..., t_c} of feature
+// objects (Definition 4) with its score s(C) = Σ s(t_i).
+type combination struct {
+	refs  []featureRef
+	score float64
+}
+
+// combinationStream implements Algorithm 4 (nextCombination): it pulls
+// feature objects from the per-set streams under a pulling strategy,
+// forms combinations ordered by score, and emits a combination only when
+// the thresholding scheme guarantees no unseen combination can score
+// higher:
+//
+//	τ = max over non-exhausted j of (max_1 + … + min_j + … + max_c).
+//
+// Combinations are enumerated over the retrieved prefixes D_i. The default
+// implementation is a lazy lattice walk (a rank-join style frontier): pop
+// the best index vector, push its c successors — which emits exactly the
+// same sequence as the paper's eager materialization (Algorithm 4 line 9,
+// selected by Options.Combinations; the range variant uses it by
+// default) with bounded memory.
+type combinationStream struct {
+	q       *Query
+	streams []*featureStream
+	stats   *Stats
+
+	// pairFilter enables the validity constraint dist(t_i,t_j) ≤ 2r of
+	// Definition 4 (range variant only; influence and NN variants use the
+	// unfiltered stream, Sections 7.1–7.2).
+	pairFilter bool
+	pull       PullStrategy
+	eager      bool
+
+	// grids accelerate eager generation: one spatial hash per feature
+	// set over the retrieved (concrete) features, with cell size 2r, so
+	// valid partners of a new feature are found without scanning D_j.
+	grids []*pairGrid
+
+	d         [][]featureRef // retrieved features per set, scores non-increasing
+	mins      []float64      // score of the last retrieved feature (1 before first access)
+	maxs      []float64      // score of the first retrieved feature (1 before first access)
+	started   []bool
+	exhausted []bool // stream fully consumed (∅ already appended to d)
+	rr        int    // round-robin cursor
+
+	heap    comboHeap
+	visited map[string]bool
+	pending [][]vecEntry // lazy successors waiting for d[i] to grow
+	seeded  bool
+}
+
+// vecEntry is an index vector into the d arrays with its combination score.
+type vecEntry struct {
+	vec   []int
+	score float64
+}
+
+// newCombinationStream builds the stream for a query against the engine's
+// feature indexes.
+func newCombinationStream(e *Engine, q *Query, pairFilter bool, stats *Stats) (*combinationStream, error) {
+	c := len(e.features)
+	eager := pairFilter
+	switch e.opts.Combinations {
+	case CombinationsEager:
+		eager = true
+	case CombinationsLazy:
+		eager = false
+	}
+	cs := &combinationStream{
+		q:          q,
+		streams:    make([]*featureStream, c),
+		stats:      stats,
+		pairFilter: pairFilter,
+		pull:       e.opts.Pull,
+		eager:      eager,
+		d:          make([][]featureRef, c),
+		mins:       make([]float64, c),
+		maxs:       make([]float64, c),
+		started:    make([]bool, c),
+		exhausted:  make([]bool, c),
+		visited:    make(map[string]bool),
+		pending:    make([][]vecEntry, c),
+	}
+	if eager && pairFilter {
+		cs.grids = make([]*pairGrid, c)
+		for i := range cs.grids {
+			cs.grids[i] = newPairGrid(2 * q.Radius)
+		}
+	}
+	for i := 0; i < c; i++ {
+		s, err := newFeatureStream(e.features[i], q.keywordsFor(i))
+		if err != nil {
+			return nil, err
+		}
+		cs.streams[i] = s
+		cs.mins[i] = 1 // upper bound on any unseen feature score
+		cs.maxs[i] = 1
+	}
+	return cs, nil
+}
+
+// pairGrid is a spatial hash with cell size equal to the pair-distance
+// limit 2r: any point within 2r of p lies in one of the 3×3 cells around
+// p's cell.
+type pairGrid struct {
+	cell  float64
+	cells map[[2]int32][]int
+}
+
+func newPairGrid(cell float64) *pairGrid {
+	if cell <= 0 {
+		cell = 1
+	}
+	return &pairGrid{cell: cell, cells: make(map[[2]int32][]int)}
+}
+
+// key maps a point to its cell.
+func (g *pairGrid) key(p geo.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// add registers index idx at point p.
+func (g *pairGrid) add(p geo.Point, idx int) {
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], idx)
+}
+
+// near returns the indexes whose points can be within the limit of p
+// (a superset; callers re-check exact distances).
+func (g *pairGrid) near(p geo.Point) []int {
+	k := g.key(p)
+	var out []int
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			out = append(out, g.cells[[2]int32{k[0] + dx, k[1] + dy}]...)
+		}
+	}
+	return out
+}
+
+// next returns the valid combination with the highest score not yet
+// emitted, or ok=false when the combination space is exhausted.
+func (cs *combinationStream) next() (combination, bool, error) {
+	for {
+		if cs.heap.Len() > 0 {
+			top := cs.heap[0]
+			if cs.allExhausted() || top.score >= cs.threshold()-1e-12 {
+				ve := heap.Pop(&cs.heap).(vecEntry)
+				if !cs.eager {
+					cs.pushSuccessors(ve.vec)
+				}
+				comb, valid := cs.materialize(ve)
+				if valid {
+					cs.stats.Combinations++
+					return comb, true, nil
+				}
+				continue
+			}
+		}
+		if cs.allExhausted() {
+			return combination{}, false, nil
+		}
+		if err := cs.pullNext(); err != nil {
+			return combination{}, false, err
+		}
+	}
+}
+
+// allExhausted reports whether every per-set stream is done.
+func (cs *combinationStream) allExhausted() bool {
+	for _, ex := range cs.exhausted {
+		if !ex {
+			return false
+		}
+	}
+	return true
+}
+
+// threshold computes τ, the best score any unseen combination can reach: a
+// combination not yet enumerable must use a not-yet-retrieved feature from
+// some non-exhausted set j, whose score is at most min_j, combined with at
+// best the top feature of every other set.
+func (cs *combinationStream) threshold() float64 {
+	var sumMax float64
+	for i := range cs.maxs {
+		sumMax += cs.maxs[i]
+	}
+	tau := negInf
+	for j := range cs.mins {
+		if cs.exhausted[j] {
+			continue
+		}
+		if t := sumMax - cs.maxs[j] + cs.mins[j]; t > tau {
+			tau = t
+		}
+	}
+	return tau
+}
+
+// nextFeatureSet applies the pulling strategy (Definition 5 or round
+// robin), never returning an exhausted set.
+func (cs *combinationStream) nextFeatureSet() int {
+	if cs.pull == PullRoundRobin {
+		c := len(cs.streams)
+		for t := 0; t < c; t++ {
+			i := cs.rr % c
+			cs.rr++
+			if !cs.exhausted[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	// Prioritized: before every set has been accessed once, fill the
+	// gaps; afterwards pick the set responsible for the threshold.
+	for i := range cs.d {
+		if !cs.started[i] && !cs.exhausted[i] {
+			return i
+		}
+	}
+	var sumMax float64
+	for i := range cs.maxs {
+		sumMax += cs.maxs[i]
+	}
+	best, bestVal := -1, negInf
+	for j := range cs.mins {
+		if cs.exhausted[j] {
+			continue
+		}
+		if v := sumMax - cs.maxs[j] + cs.mins[j]; v > bestVal {
+			best, bestVal = j, v
+		}
+	}
+	return best
+}
+
+// pullNext retrieves one feature (or ∅) from the chosen set, updates the
+// bookkeeping and feeds the combination heap.
+func (cs *combinationStream) pullNext() error {
+	i := cs.nextFeatureSet()
+	if i < 0 {
+		return nil
+	}
+	ref, done, err := cs.streams[i].next()
+	if err != nil {
+		return err
+	}
+	if done {
+		cs.exhausted[i] = true
+		return nil
+	}
+	cs.stats.FeaturesPulled++
+	cs.d[i] = append(cs.d[i], ref)
+	if !cs.started[i] {
+		cs.started[i] = true
+		cs.maxs[i] = ref.score
+	}
+	cs.mins[i] = ref.score
+	if ref.virtual {
+		cs.exhausted[i] = true
+		cs.mins[i] = virtualScore
+	}
+	if cs.eager {
+		cs.generateEager(i)
+	} else {
+		cs.seedOrFlush(i)
+	}
+	return nil
+}
+
+// seedOrFlush handles lazy-lattice bookkeeping after d[i] grew: seed the
+// origin vector once every set has an element, and materialize successors
+// that were waiting for this growth.
+func (cs *combinationStream) seedOrFlush(i int) {
+	if !cs.seeded {
+		for _, di := range cs.d {
+			if len(di) == 0 {
+				return
+			}
+		}
+		cs.seeded = true
+		origin := make([]int, len(cs.d))
+		cs.pushVec(origin)
+		return
+	}
+	waiting := cs.pending[i]
+	cs.pending[i] = nil
+	for _, ve := range waiting {
+		cs.pushVec(ve.vec)
+	}
+}
+
+// pushSuccessors pushes the c successor vectors of vec (one index advanced
+// per dimension), deferring those that point past the retrieved prefix.
+func (cs *combinationStream) pushSuccessors(vec []int) {
+	for i := range vec {
+		succ := make([]int, len(vec))
+		copy(succ, vec)
+		succ[i]++
+		if cs.visited[vecKey(succ)] {
+			continue
+		}
+		if succ[i] >= len(cs.d[i]) {
+			if cs.exhausted[i] {
+				continue // no further elements will ever arrive
+			}
+			cs.visited[vecKey(succ)] = true
+			cs.pending[i] = append(cs.pending[i], vecEntry{vec: succ})
+			continue
+		}
+		cs.pushVec(succ)
+	}
+}
+
+// pushVec scores and pushes an index vector, marking it visited.
+func (cs *combinationStream) pushVec(vec []int) {
+	key := vecKey(vec)
+	cs.visited[key] = true
+	score := 0.0
+	for i, a := range vec {
+		score += cs.d[i][a].score
+	}
+	heap.Push(&cs.heap, vecEntry{vec: vec, score: score})
+}
+
+// generateEager materializes, as the paper's Algorithm 4 line 9 does, all
+// combinations that include the newest feature of set i, discarding
+// invalid ones immediately. Once a concrete feature is part of the
+// partial combination, candidates for the remaining sets come from the
+// spatial grid around it (every member of a valid combination lies within
+// 2r of every other), so generation cost tracks the number of valid
+// combinations rather than |D_1|×…×|D_c|.
+func (cs *combinationStream) generateEager(i int) {
+	newIdx := len(cs.d[i]) - 1
+	newRef := cs.d[i][newIdx]
+	if cs.grids != nil && !newRef.virtual {
+		cs.grids[i].add(newRef.entry.Point(), newIdx)
+	}
+	c := len(cs.d)
+	vec := make([]int, c)
+	chosen := make([]int, 0, c) // dims already assigned
+	vec[i] = newIdx
+	chosen = append(chosen, i)
+
+	var anchor *featureRef
+	if !newRef.virtual {
+		anchor = &newRef
+	}
+
+	var rec func(dim int, score float64, anchor *featureRef)
+	rec = func(dim int, score float64, anchor *featureRef) {
+		if dim == c {
+			v := make([]int, c)
+			copy(v, vec)
+			heap.Push(&cs.heap, vecEntry{vec: v, score: score})
+			return
+		}
+		if dim == i {
+			rec(dim+1, score, anchor)
+			return
+		}
+		try := func(a int) {
+			ref := cs.d[dim][a]
+			vec[dim] = a
+			chosen = append(chosen, dim)
+			if cs.validAgainstChosen(ref, vec, chosen[:len(chosen)-1]) {
+				next := anchor
+				if next == nil && !ref.virtual {
+					next = &ref
+				}
+				rec(dim+1, score+ref.score, next)
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		if anchor != nil && cs.grids != nil {
+			for _, a := range cs.grids[dim].near(anchor.entry.Point()) {
+				try(a)
+			}
+			// The virtual feature (always the last element, if present)
+			// pairs with anything.
+			if n := len(cs.d[dim]); n > 0 && cs.d[dim][n-1].virtual {
+				try(n - 1)
+			}
+			return
+		}
+		for a := 0; a < len(cs.d[dim]); a++ {
+			try(a)
+		}
+	}
+	rec(0, newRef.score, anchor)
+}
+
+// validAgainstChosen checks Definition 4's pairwise constraint for ref at
+// its dim against every already-chosen member. The virtual feature is at
+// distance 0 from everything. Always true when the pair filter is off.
+func (cs *combinationStream) validAgainstChosen(ref featureRef, vec []int, chosenDims []int) bool {
+	if !cs.pairFilter || ref.virtual {
+		return true
+	}
+	limit := 2 * cs.q.Radius
+	p := ref.entry.Point()
+	for _, j := range chosenDims {
+		other := cs.d[j][vec[j]]
+		if other.virtual {
+			continue
+		}
+		if p.Dist(other.entry.Point()) > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize converts an index vector into a combination, applying the
+// validity filter (lazy mode checks it at emission; eager mode filtered at
+// generation).
+func (cs *combinationStream) materialize(ve vecEntry) (combination, bool) {
+	refs := make([]featureRef, len(ve.vec))
+	for i, a := range ve.vec {
+		refs[i] = cs.d[i][a]
+	}
+	if cs.pairFilter && !cs.eager {
+		limit := 2 * cs.q.Radius
+		for i := 0; i < len(refs); i++ {
+			if refs[i].virtual {
+				continue
+			}
+			for j := i + 1; j < len(refs); j++ {
+				if refs[j].virtual {
+					continue
+				}
+				if refs[i].entry.Point().Dist(refs[j].entry.Point()) > limit {
+					return combination{}, false
+				}
+			}
+		}
+	}
+	return combination{refs: refs, score: ve.score}, true
+}
+
+// vecKey encodes an index vector as a map key.
+func vecKey(vec []int) string {
+	buf := make([]byte, 0, len(vec)*4)
+	for _, v := range vec {
+		for v >= 0x80 {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 7
+		}
+		buf = append(buf, byte(v))
+	}
+	return string(buf)
+}
+
+// comboHeap is a max-heap of index vectors by combination score.
+type comboHeap []vecEntry
+
+func (h comboHeap) Len() int            { return len(h) }
+func (h comboHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h comboHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *comboHeap) Push(x interface{}) { *h = append(*h, x.(vecEntry)) }
+func (h *comboHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

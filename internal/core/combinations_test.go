@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stpq/internal/index"
+)
+
+// drainCombinations pulls up to limit combinations from a fresh stream.
+func drainCombinations(t *testing.T, w *testWorld, q Query, pairFilter bool, limit int) []combination {
+	t.Helper()
+	var stats Stats
+	cs, err := newCombinationStream(w.engine, &q, pairFilter, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []combination
+	for len(out) < limit {
+		comb, ok, err := cs.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, comb)
+	}
+	return out
+}
+
+// Combinations must be emitted in non-increasing score order — the
+// foundation of STPS correctness (Section 6.3, thresholding scheme).
+func TestCombinationOrderMonotone(t *testing.T) {
+	w := buildWorld(t, 300, 50, 150, 2, 16, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 5; trial++ {
+		q := w.randQuery(rng, 2, RangeScore)
+		combos := drainCombinations(t, w, q, true, 200)
+		for i := 1; i < len(combos); i++ {
+			if combos[i].score > combos[i-1].score+1e-9 {
+				t.Fatalf("trial %d: combination %d score %v exceeds previous %v",
+					trial, i, combos[i].score, combos[i-1].score)
+			}
+		}
+		if len(combos) == 0 {
+			t.Fatal("no combinations emitted")
+		}
+	}
+}
+
+// With the pair filter enabled, every emitted combination must satisfy
+// Definition 4: pairwise distance at most 2r among concrete features.
+func TestCombinationValidity(t *testing.T) {
+	w := buildWorld(t, 302, 50, 150, 3, 16, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(303))
+	q := w.randQuery(rng, 3, RangeScore)
+	q.Radius = 0.05
+	combos := drainCombinations(t, w, q, true, 300)
+	for _, c := range combos {
+		for i := 0; i < len(c.refs); i++ {
+			if c.refs[i].virtual {
+				continue
+			}
+			for j := i + 1; j < len(c.refs); j++ {
+				if c.refs[j].virtual {
+					continue
+				}
+				d := c.refs[i].entry.Point().Dist(c.refs[j].entry.Point())
+				if d > 2*q.Radius+1e-12 {
+					t.Fatalf("invalid combination: pair distance %v > 2r=%v", d, 2*q.Radius)
+				}
+			}
+		}
+	}
+}
+
+// The combination score must equal the sum of its member scores.
+func TestCombinationScoreIsSum(t *testing.T) {
+	w := buildWorld(t, 304, 50, 100, 2, 16, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(305))
+	q := w.randQuery(rng, 2, RangeScore)
+	combos := drainCombinations(t, w, q, true, 100)
+	for _, c := range combos {
+		sum := 0.0
+		for _, ref := range c.refs {
+			sum += ref.score
+		}
+		if math.Abs(sum-c.score) > 1e-12 {
+			t.Fatalf("score %v != member sum %v", c.score, sum)
+		}
+	}
+}
+
+// The first emitted combination must be the global best: the top feature
+// of each set when they are mutually within 2r — verified against an
+// exhaustive enumeration over all feature pairs.
+func TestFirstCombinationIsGlobalBest(t *testing.T) {
+	w := buildWorld(t, 306, 50, 120, 2, 16, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 5; trial++ {
+		q := w.randQuery(rng, 2, RangeScore)
+		combos := drainCombinations(t, w, q, true, 1)
+		if len(combos) == 0 {
+			t.Fatal("no combinations")
+		}
+		got := combos[0].score
+		want := bruteBestComboScore(t, w, q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: first combo score %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// bruteBestComboScore enumerates all pairs (t_1, t_2) including ∅ slots.
+func bruteBestComboScore(t *testing.T, w *testWorld, q Query) float64 {
+	f0, err := w.engine.features[0].Tree().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := w.engine.features[1].Tree().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qk0, qk1 := q.keywordsFor(0), q.keywordsFor(1)
+	best := 0.0 // the all-virtual combination
+	for _, a := range f0 {
+		if !a.Keywords.Intersects(qk0.Set) {
+			continue
+		}
+		sa := index.Score(a, qk0)
+		if sa > best {
+			best = sa // (a, ∅)
+		}
+		for _, b := range f1 {
+			if !b.Keywords.Intersects(qk1.Set) {
+				continue
+			}
+			if a.Point().Dist(b.Point()) > 2*q.Radius {
+				continue
+			}
+			if s := sa + index.Score(b, qk1); s > best {
+				best = s
+			}
+		}
+	}
+	for _, b := range f1 {
+		if !b.Keywords.Intersects(qk1.Set) {
+			continue
+		}
+		if s := index.Score(b, qk1); s > best {
+			best = s // (∅, b)
+		}
+	}
+	return best
+}
+
+// Lazy and eager modes must emit the same score sequence (the lazy lattice
+// is an implementation detail, not a semantic change).
+func TestLazyEagerSameSequence(t *testing.T) {
+	wL := buildWorld(t, 308, 50, 100, 2, 16, index.SRT, Options{Combinations: CombinationsLazy})
+	wE := buildWorld(t, 308, 50, 100, 2, 16, index.SRT, Options{Combinations: CombinationsEager})
+	rng := rand.New(rand.NewSource(309))
+	for trial := 0; trial < 4; trial++ {
+		q := wL.randQuery(rng, 2, RangeScore)
+		a := drainCombinations(t, wL, q, true, 150)
+		b := drainCombinations(t, wE, q, true, 150)
+		if len(a) != len(b) {
+			t.Fatalf("lazy emitted %d, eager %d", len(a), len(b))
+		}
+		for i := range a {
+			if math.Abs(a[i].score-b[i].score) > 1e-9 {
+				t.Fatalf("position %d: lazy %v eager %v", i, a[i].score, b[i].score)
+			}
+		}
+	}
+}
+
+// Without the pair filter (influence/NN variants) the stream must cover
+// the full cross product (plus virtual slots) before exhausting.
+func TestUnfilteredStreamCountsCrossProduct(t *testing.T) {
+	w := buildWorld(t, 310, 20, 30, 2, 8, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(311))
+	q := w.randQuery(rng, 2, InfluenceScore)
+	combos := drainCombinations(t, w, q, false, 1<<20)
+	// Count relevant features per set.
+	relevant := func(set int) int {
+		all, err := w.engine.features[set].Tree().All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qk := q.keywordsFor(set)
+		n := 0
+		for _, e := range all {
+			if e.Keywords.Intersects(qk.Set) {
+				n++
+			}
+		}
+		return n
+	}
+	want := (relevant(0) + 1) * (relevant(1) + 1) // +1 for ∅
+	if len(combos) != want {
+		t.Fatalf("emitted %d combinations, want %d", len(combos), want)
+	}
+}
+
+// The virtual feature must appear once the per-set stream is exhausted,
+// enabling results backed by fewer than c feature sets.
+func TestVirtualFeatureEmitted(t *testing.T) {
+	w := buildWorld(t, 312, 20, 10, 2, 8, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(313))
+	q := w.randQuery(rng, 2, RangeScore)
+	combos := drainCombinations(t, w, q, true, 1<<20)
+	sawVirtual := false
+	sawAllVirtual := false
+	for _, c := range combos {
+		nv := 0
+		for _, ref := range c.refs {
+			if ref.virtual {
+				nv++
+			}
+		}
+		if nv > 0 {
+			sawVirtual = true
+		}
+		if nv == len(c.refs) {
+			sawAllVirtual = true
+			if c.score != 0 {
+				t.Fatalf("all-virtual combination must score 0, got %v", c.score)
+			}
+		}
+	}
+	if !sawVirtual || !sawAllVirtual {
+		t.Fatalf("virtual combinations missing: some=%v all=%v", sawVirtual, sawAllVirtual)
+	}
+}
+
+// Exhaustive property over random small worlds: the stream emits every
+// unfiltered combination exactly once in non-increasing order.
+func TestCombinationStreamExhaustiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		w := buildWorld(t, seed, 10, 15, 2, 8, index.SRT, Options{})
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		q := w.randQuery(rng, 2, InfluenceScore)
+		var stats Stats
+		cs, err := newCombinationStream(w.engine, &q, false, &stats)
+		if err != nil {
+			return false
+		}
+		seen := make(map[string]bool)
+		prev := math.Inf(1)
+		for {
+			comb, ok, err := cs.next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			if comb.score > prev+1e-9 {
+				return false
+			}
+			prev = comb.score
+			key := ""
+			for _, ref := range comb.refs {
+				if ref.virtual {
+					key += "∅|"
+				} else {
+					key += string(rune(ref.entry.ItemID)) + "|"
+				}
+			}
+			if seen[key] {
+				return false // duplicate emission
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The prioritized pulling strategy should pull no more features than
+// round-robin on average (Definition 5's motivation).
+func TestPrioritizedPullsNoMoreThanRoundRobin(t *testing.T) {
+	wP := buildWorld(t, 314, 200, 400, 3, 16, index.SRT, Options{Pull: PullPrioritized})
+	wR := buildWorld(t, 314, 200, 400, 3, 16, index.SRT, Options{Pull: PullRoundRobin})
+	rng := rand.New(rand.NewSource(315))
+	var pulledP, pulledR int
+	for trial := 0; trial < 10; trial++ {
+		q := wP.randQuery(rng, 3, RangeScore)
+		_, sp, err := wP.engine.STPS(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sr, err := wR.engine.STPS(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pulledP += sp.FeaturesPulled
+		pulledR += sr.FeaturesPulled
+	}
+	if float64(pulledP) > float64(pulledR)*1.25 {
+		t.Errorf("prioritized pulled %d features, round-robin %d", pulledP, pulledR)
+	}
+}
+
+// The range variant defaults to eager enumeration, influence/NN to lazy;
+// explicit options override. (Guards the CombinationsAuto dispatch.)
+func TestCombinationModeDispatch(t *testing.T) {
+	w := buildWorld(t, 320, 30, 40, 2, 8, index.SRT, Options{})
+	var stats Stats
+	q := w.randQuery(rand.New(rand.NewSource(321)), 2, RangeScore)
+	cs, err := newCombinationStream(w.engine, &q, true, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.eager || cs.grids == nil {
+		t.Error("range variant should default to grid-accelerated eager")
+	}
+	cs, err = newCombinationStream(w.engine, &q, false, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.eager {
+		t.Error("unfiltered stream should default to lazy")
+	}
+	wLazy := buildWorld(t, 320, 30, 40, 2, 8, index.SRT, Options{Combinations: CombinationsLazy})
+	cs, err = newCombinationStream(wLazy.engine, &q, true, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.eager {
+		t.Error("explicit lazy must override the range default")
+	}
+	wEager := buildWorld(t, 320, 30, 40, 2, 8, index.SRT, Options{Combinations: CombinationsEager})
+	cs, err = newCombinationStream(wEager.engine, &q, false, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.eager {
+		t.Error("explicit eager must override the unfiltered default")
+	}
+	if CombinationsAuto.String() != "auto" || CombinationsEager.String() != "eager" || CombinationsLazy.String() != "lazy" {
+		t.Error("mode strings")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/heap"
+
+	"stpq/internal/index"
+	"stpq/internal/rtree"
+)
+
+// featureRef is one element of the per-set stream D_i: either a concrete
+// feature object with its preference score s(t), or the virtual feature ∅
+// emitted after the set is exhausted (paper Section 6.1): dist(p,∅) = 0
+// and s(∅) = 0, so a combination may cover fewer than c feature sets.
+type featureRef struct {
+	entry   rtree.Entry
+	score   float64
+	virtual bool
+}
+
+// featureStream retrieves the feature objects of one feature set in
+// non-increasing preference score s(t), using best-first traversal ordered
+// by the bound ŝ(e) (Algorithm 4 lines 3–7). Subtrees that cannot contain
+// a relevant feature (empty keyword intersection with W_i) are pruned. As
+// the final element the stream yields the virtual feature ∅.
+//
+// In signature mode (hashed keyword summaries) a popped leaf's exact score
+// is only a bound: the stream resolves it against the feature record —
+// paying the verification page read — and re-enqueues it with its exact
+// score, preserving the global non-increasing order.
+type featureStream struct {
+	idx       *index.FeatureIndex
+	pq        index.PreparedQuery
+	heap      boundHeap
+	exhausted bool
+}
+
+// newFeatureStream seeds the stream with the index root. A query with no
+// keywords for this set makes every feature irrelevant, so the stream
+// yields only ∅.
+func newFeatureStream(idx *index.FeatureIndex, q index.QueryKeywords) (*featureStream, error) {
+	s := &featureStream{idx: idx, pq: idx.Prepare(q)}
+	if idx.Len() == 0 || q.Set.IsEmpty() {
+		return s, nil
+	}
+	root, err := idx.Tree().RootEntry()
+	if err != nil {
+		return nil, err
+	}
+	if idx.EntryRelevant(root, s.pq) {
+		heap.Push(&s.heap, boundItem{entry: root, bound: idx.EntryBound(root, s.pq)})
+	}
+	return s, nil
+}
+
+// next returns the feature with the highest remaining score, or the
+// virtual feature once, then reports done=true.
+func (s *featureStream) next() (ref featureRef, done bool, err error) {
+	for s.heap.Len() > 0 {
+		it := heap.Pop(&s.heap).(boundItem)
+		if it.entry.Leaf {
+			if it.resolved {
+				return featureRef{entry: it.entry, score: it.bound}, false, nil
+			}
+			score, relevant, err := s.idx.ResolveLeaf(it.entry, s.pq)
+			if err != nil {
+				return featureRef{}, false, err
+			}
+			if !relevant {
+				continue // signature false positive
+			}
+			if s.heap.Len() == 0 || score >= s.heap[0].bound-1e-12 {
+				return featureRef{entry: it.entry, score: score}, false, nil
+			}
+			heap.Push(&s.heap, boundItem{entry: it.entry, bound: score, resolved: true})
+			continue
+		}
+		node, err := s.idx.Tree().Node(it.entry.Child)
+		if err != nil {
+			return featureRef{}, false, err
+		}
+		for _, c := range node.Entries {
+			if !s.idx.EntryRelevant(c, s.pq) {
+				continue
+			}
+			heap.Push(&s.heap, boundItem{entry: c, bound: s.idx.EntryBound(c, s.pq)})
+		}
+	}
+	if !s.exhausted {
+		s.exhausted = true
+		return featureRef{virtual: true, score: virtualScore}, false, nil
+	}
+	return featureRef{}, true, nil
+}
+
+// boundItem pairs an entry with its score bound ŝ(e); resolved marks leaf
+// entries whose bound is already the exact score.
+type boundItem struct {
+	entry    rtree.Entry
+	bound    float64
+	resolved bool
+}
+
+// boundHeap is a max-heap over bounds.
+type boundHeap []boundItem
+
+func (h boundHeap) Len() int            { return len(h) }
+func (h boundHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h boundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boundHeap) Push(x interface{}) { *h = append(*h, x.(boundItem)) }
+func (h *boundHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

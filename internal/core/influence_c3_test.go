@@ -1,0 +1,22 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stpq/internal/index"
+)
+
+func TestInfluenceC3Quick(t *testing.T) {
+	w := buildWorld(t, 900, 200, 150, 3, 16, index.SRT, Options{})
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 3; trial++ {
+		q := w.randQuery(rng, 3, InfluenceScore)
+		got, st, err := w.engine.STPS(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("combos=%d pulled=%d", st.Combinations, st.FeaturesPulled)
+		assertMatchesBruteForce(t, w, q, got, "STPS/influence/c3")
+	}
+}

@@ -1,0 +1,334 @@
+// Package core implements the query processing algorithms of the paper:
+// the Spatio-Textual Data Scan baseline (STDS, Section 5), the
+// Spatio-Textual Preference Search algorithm (STPS, Section 6), and the
+// unified framework for the three score variants — range (Definition 2),
+// influence (Definition 6) and nearest neighbor (Definition 7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+	"stpq/internal/storage"
+)
+
+// Variant selects the preference-score definition (paper Section 7).
+type Variant int
+
+const (
+	// RangeScore is Definition 2: τ_i(p) = max{s(t) : dist(p,t) ≤ r,
+	// sim(t,W_i) > 0}.
+	RangeScore Variant = iota
+	// InfluenceScore is Definition 6: τ_i(p) = max{s(t)·2^(−dist(p,t)/r) :
+	// sim(t,W_i) > 0} (no hard distance constraint).
+	InfluenceScore
+	// NearestNeighborScore is Definition 7: τ_i(p) = s(t) where t is p's
+	// spatial nearest neighbor in F_i, provided sim(t,W_i) > 0.
+	NearestNeighborScore
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case RangeScore:
+		return "range"
+	case InfluenceScore:
+		return "influence"
+	case NearestNeighborScore:
+		return "nearest-neighbor"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Query is a top-k spatio-textual preference query Q = (k, r, λ, W_1..W_c)
+// (paper Problem 1).
+type Query struct {
+	// K is the number of data objects to return.
+	K int
+	// Radius is the query range r (normalized space). For the influence
+	// variant it is the decay length; unused by the NN variant.
+	Radius float64
+	// Lambda is the smoothing parameter λ ∈ [0,1] between the non-spatial
+	// score and the textual similarity (Definition 1).
+	Lambda float64
+	// Keywords holds one query keyword set W_i per feature set F_i.
+	Keywords []kwset.Set
+	// Variant selects the score definition.
+	Variant Variant
+	// Similarity selects the textual similarity measure of Definition 1
+	// (zero value = Jaccard, the paper's choice).
+	Similarity index.Similarity
+}
+
+// Validate checks query parameters against the engine shape.
+func (q *Query) Validate(numFeatureSets int) error {
+	if q.K <= 0 {
+		return errors.New("core: query K must be positive")
+	}
+	if len(q.Keywords) != numFeatureSets {
+		return fmt.Errorf("core: query has %d keyword sets, engine has %d feature sets",
+			len(q.Keywords), numFeatureSets)
+	}
+	if q.Lambda < 0 || q.Lambda > 1 {
+		return fmt.Errorf("core: lambda %v outside [0,1]", q.Lambda)
+	}
+	if q.Variant != NearestNeighborScore && q.Radius <= 0 {
+		return fmt.Errorf("core: radius %v must be positive", q.Radius)
+	}
+	return nil
+}
+
+// keywordsFor returns the per-set query keywords bundle.
+func (q *Query) keywordsFor(i int) index.QueryKeywords {
+	return index.QueryKeywords{Set: q.Keywords[i], Lambda: q.Lambda, Sim: q.Similarity}
+}
+
+// Result is one data object of the top-k answer.
+type Result struct {
+	ID       int64
+	Location geo.Point
+	// Score is the spatio-textual preference score τ(p).
+	Score float64
+}
+
+// Stats reports the cost of one query execution, mirroring the paper's
+// metric: CPU time (measured) plus I/O modeled from physical page reads.
+// For the NN variant the Voronoi-construction share is reported separately
+// (the striped segments of Figures 13–14).
+type Stats struct {
+	// CPUTime is the measured wall time of query processing.
+	CPUTime time.Duration
+	// IOTime is the modeled disk time: PhysicalReads × CostModel.PerPage.
+	IOTime time.Duration
+	// LogicalReads and PhysicalReads count page requests across all
+	// indexes touched by the query.
+	LogicalReads  int64
+	PhysicalReads int64
+	// VoronoiCPUTime and VoronoiReads isolate the Voronoi-cell
+	// construction cost of the NN variant.
+	VoronoiCPUTime time.Duration
+	VoronoiReads   int64
+	// Combinations counts valid feature combinations emitted by STPS.
+	Combinations int
+	// FeaturesPulled counts feature objects retrieved from feature
+	// indexes.
+	FeaturesPulled int
+	// ObjectsScored counts data objects whose score was computed (STDS)
+	// or retrieved (STPS).
+	ObjectsScored int
+}
+
+// Total returns CPU plus modeled I/O time — the paper's bar height.
+func (s Stats) Total() time.Duration { return s.CPUTime + s.IOTime }
+
+// Add accumulates other into s (for averaging over query workloads).
+func (s *Stats) Add(other Stats) {
+	s.CPUTime += other.CPUTime
+	s.IOTime += other.IOTime
+	s.LogicalReads += other.LogicalReads
+	s.PhysicalReads += other.PhysicalReads
+	s.VoronoiCPUTime += other.VoronoiCPUTime
+	s.VoronoiReads += other.VoronoiReads
+	s.Combinations += other.Combinations
+	s.FeaturesPulled += other.FeaturesPulled
+	s.ObjectsScored += other.ObjectsScored
+}
+
+// Scale divides all counters by n, yielding per-query averages.
+func (s Stats) Scale(n int) Stats {
+	if n <= 0 {
+		return s
+	}
+	d := time.Duration(n)
+	return Stats{
+		CPUTime:        s.CPUTime / d,
+		IOTime:         s.IOTime / d,
+		LogicalReads:   s.LogicalReads / int64(n),
+		PhysicalReads:  s.PhysicalReads / int64(n),
+		VoronoiCPUTime: s.VoronoiCPUTime / d,
+		VoronoiReads:   s.VoronoiReads / int64(n),
+		Combinations:   s.Combinations / n,
+		FeaturesPulled: s.FeaturesPulled / n,
+		ObjectsScored:  s.ObjectsScored / n,
+	}
+}
+
+// PullStrategy selects how STPS chooses the next feature set to access
+// (paper Section 6.3).
+type PullStrategy int
+
+const (
+	// PullPrioritized is Definition 5: access the feature set responsible
+	// for the current threshold value.
+	PullPrioritized PullStrategy = iota
+	// PullRoundRobin cycles through the feature sets (the paper's
+	// "simple alternative", kept for ablation).
+	PullRoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p PullStrategy) String() string {
+	if p == PullRoundRobin {
+		return "round-robin"
+	}
+	return "prioritized"
+}
+
+// CombinationMode selects how STPS enumerates feature combinations.
+// Both modes emit the same combinations in the same score order; they
+// differ in which part of the combination space they keep materialized.
+type CombinationMode int
+
+const (
+	// CombinationsAuto (default) picks per variant: eager for the range
+	// score — whose validity filter (Definition 4) discards most of the
+	// space at generation — and lazy for the influence and NN variants,
+	// where every combination is valid and eager materialization would
+	// hold the whole cross product.
+	CombinationsAuto CombinationMode = iota
+	// CombinationsEager is the paper's literal Algorithm 4 line 9: every
+	// pulled feature immediately materializes all its valid combinations
+	// (accelerated by a spatial grid over retrieved features).
+	CombinationsEager
+	// CombinationsLazy walks the combination lattice rank-join style:
+	// pop the best index vector, push its successors. Memory stays
+	// proportional to the emitted frontier.
+	CombinationsLazy
+)
+
+// String implements fmt.Stringer.
+func (m CombinationMode) String() string {
+	switch m {
+	case CombinationsEager:
+		return "eager"
+	case CombinationsLazy:
+		return "lazy"
+	default:
+		return "auto"
+	}
+}
+
+// Options tunes algorithm behaviour without affecting results.
+type Options struct {
+	// Pull selects the STPS pulling strategy.
+	Pull PullStrategy
+	// BatchSTDS enables the batched score computation of Section 5
+	// ("Performance improvements"): objects are processed one object-tree
+	// leaf at a time, sharing feature-index traversals. Applies to the
+	// range variant; default on.
+	BatchSTDS bool
+	// Combinations selects how STPS enumerates feature combinations.
+	Combinations CombinationMode
+	// CacheVoronoiCells keeps Voronoi cells computed by the NN variant
+	// across queries — the precomputation the paper suggests for static
+	// data ("for static data the Voronoi cells can be pre-computed in a
+	// special structure", Section 8.5). Cells can also be fully
+	// precomputed up front with Engine.PrecomputeVoronoiCells.
+	CacheVoronoiCells bool
+	// CostModel converts physical reads to modeled I/O time.
+	CostModel storage.CostModel
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.CostModel.PerPage == 0 {
+		o.CostModel = storage.DefaultCostModel()
+	}
+	return o
+}
+
+// Engine binds the object index and the feature indexes and executes
+// queries with either algorithm.
+type Engine struct {
+	objects  *index.ObjectIndex
+	features []*index.FeatureIndex
+	opts     Options
+	// cells is the cross-query Voronoi cell cache (Options.
+	// CacheVoronoiCells); nil when caching is off.
+	cells map[cellKey]geo.Polygon
+}
+
+// NewEngine creates an engine. All feature indexes must share the engine's
+// vocabulary width; queries carry one keyword set per feature index.
+func NewEngine(objects *index.ObjectIndex, features []*index.FeatureIndex, opts Options) (*Engine, error) {
+	if objects == nil {
+		return nil, errors.New("core: nil object index")
+	}
+	if len(features) == 0 {
+		return nil, errors.New("core: at least one feature index required")
+	}
+	for i, f := range features {
+		if f == nil {
+			return nil, fmt.Errorf("core: feature index %d is nil", i)
+		}
+	}
+	e := &Engine{objects: objects, features: features, opts: opts.withDefaults()}
+	if e.opts.CacheVoronoiCells {
+		e.cells = make(map[cellKey]geo.Polygon)
+	}
+	return e, nil
+}
+
+// PrecomputeVoronoiCells computes and caches the Voronoi cell of every
+// feature object up front (requires Options.CacheVoronoiCells). The
+// one-off cost removes the per-query Voronoi construction that dominates
+// the NN variant (Figures 13–14).
+func (e *Engine) PrecomputeVoronoiCells() error {
+	if e.cells == nil {
+		return errors.New("core: PrecomputeVoronoiCells requires Options.CacheVoronoiCells")
+	}
+	for i, f := range e.features {
+		all, err := f.Tree().All()
+		if err != nil {
+			return err
+		}
+		for _, entry := range all {
+			cell, err := e.voronoiCell(i, entry)
+			if err != nil {
+				return err
+			}
+			e.cells[cellKey{set: i, id: entry.ItemID}] = cell
+		}
+	}
+	return nil
+}
+
+// Objects returns the engine's data-object index.
+func (e *Engine) Objects() *index.ObjectIndex { return e.objects }
+
+// Features returns the engine's feature indexes.
+func (e *Engine) Features() []*index.FeatureIndex { return e.features }
+
+// Options returns the engine options.
+func (e *Engine) Options() Options { return e.opts }
+
+// snapshotReads sums the I/O counters across all indexes.
+func (e *Engine) snapshotReads() storage.Stats {
+	var s storage.Stats
+	s.Add(e.objects.Stats())
+	for _, f := range e.features {
+		s.Add(f.Stats())
+	}
+	return s
+}
+
+// finishStats completes a Stats from a start snapshot and start time.
+func (e *Engine) finishStats(st *Stats, before storage.Stats, start time.Time) {
+	diff := e.snapshotReads().Sub(before)
+	st.LogicalReads = diff.LogicalReads
+	st.PhysicalReads = diff.PhysicalReads
+	st.IOTime = e.opts.CostModel.IOTime(diff.PhysicalReads)
+	st.CPUTime = time.Since(start)
+}
+
+// virtualScore is the score of the virtual feature ∅ (paper Section 6.1).
+const virtualScore = 0.0
+
+// negInf is used as the "no threshold" sentinel.
+var negInf = math.Inf(-1)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+)
+
+// buildSigWorld creates an engine whose feature indexes use hashed
+// signatures of the given width (0 = exact), over the same data as
+// buildWorld for the same seed.
+func buildSigWorld(t testing.TB, seed int64, numObjects, numFeatures, c, vocabW, sigBits int, kind index.Kind) *testWorld {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]index.Object, numObjects)
+	for i := range objs {
+		objs[i] = index.Object{ID: int64(i), Location: randPoint(rng)}
+	}
+	oidx, err := index.BuildObjectIndex(objs, index.Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidxs := make([]*index.FeatureIndex, c)
+	for s := 0; s < c; s++ {
+		feats := make([]index.Feature, numFeatures)
+		for i := range feats {
+			kw := kwset.NewSet(vocabW)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				kw.Add(rng.Intn(vocabW))
+			}
+			feats[i] = index.Feature{ID: int64(i), Location: randPoint(rng), Score: rng.Float64(), Keywords: kw}
+		}
+		fidxs[s], err = index.BuildFeatureIndex(feats, index.Options{
+			Kind: kind, VocabWidth: vocabW, PageSize: 1024, SignatureBits: sigBits,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := NewEngine(oidx, fidxs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testWorld{engine: eng, vocabW: vocabW}
+}
+
+// Signature mode must return exactly the same answers as exact mode for
+// every variant — signatures change cost, never results.
+func TestSignatureModeMatchesExact(t *testing.T) {
+	const (
+		seed  = 600
+		nObj  = 300
+		nFeat = 250
+		c     = 2
+		vocab = 32
+	)
+	exact := buildSigWorld(t, seed, nObj, nFeat, c, vocab, 0, index.IR2)
+	hashed := buildSigWorld(t, seed, nObj, nFeat, c, vocab, 8, index.IR2) // 8 bits: many collisions
+	rng := rand.New(rand.NewSource(601))
+	for _, variant := range []Variant{RangeScore, InfluenceScore, NearestNeighborScore} {
+		for trial := 0; trial < 4; trial++ {
+			q := exact.randQuery(rng, c, variant)
+			a, _, err := exact.engine.STPS(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := hashed.engine.STPS(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%v: exact %d vs hashed %d results", variant, len(a), len(b))
+			}
+			for i := range a {
+				if math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+					t.Fatalf("%v rank %d: exact %v hashed %v", variant, i, a[i].Score, b[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// STDS must also be signature-safe (exercises the batched and per-object
+// refinement paths).
+func TestSignatureModeSTDS(t *testing.T) {
+	hashed := buildSigWorld(t, 602, 250, 200, 2, 24, 6, index.SRT)
+	rng := rand.New(rand.NewSource(603))
+	for _, variant := range []Variant{RangeScore, InfluenceScore, NearestNeighborScore} {
+		q := hashed.randQuery(rng, 2, variant)
+		got, _, err := hashed.engine.STDS(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesBruteForce(t, hashed, q, got, "STDS/signature/"+variant.String())
+	}
+}
+
+// Signature verification must cost extra page reads compared with exact
+// bitmaps on the same workload.
+func TestSignatureModeCostsVerificationIO(t *testing.T) {
+	exact := buildSigWorld(t, 604, 400, 400, 2, 32, 0, index.IR2)
+	hashed := buildSigWorld(t, 604, 400, 400, 2, 32, 8, index.IR2)
+	rng := rand.New(rand.NewSource(605))
+	var exactReads, hashedReads int64
+	for trial := 0; trial < 6; trial++ {
+		q := exact.randQuery(rng, 2, RangeScore)
+		_, se, err := exact.engine.STPS(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sh, err := hashed.engine.STPS(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactReads += se.LogicalReads
+		hashedReads += sh.LogicalReads
+	}
+	if hashedReads <= exactReads {
+		t.Errorf("signature mode reads %d, exact %d — verification I/O missing?",
+			hashedReads, exactReads)
+	}
+}
+
+// Insert must keep signature mode consistent (records + hashed tree).
+func TestSignatureModeInsert(t *testing.T) {
+	w := buildSigWorld(t, 606, 100, 100, 1, 16, 6, index.SRT)
+	idx := w.engine.Features()[0]
+	kw := kwset.SetFromWords(16, 3, 7)
+	if err := idx.Insert(index.Feature{ID: 5000, Location: geo.Point{X: 0.5, Y: 0.5}, Score: 0.9, Keywords: kw}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := idx.AllExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range all {
+		if e.ItemID == 5000 {
+			found = true
+			if !e.Keywords.Equal(kw) {
+				t.Fatal("exact keywords lost through signature insert")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("inserted feature missing")
+	}
+	// Duplicate ids are rejected by the record file.
+	if err := idx.Insert(index.Feature{ID: 5000, Location: geo.Point{X: 0.1, Y: 0.1}, Keywords: kw}); err == nil {
+		t.Fatal("duplicate id must be rejected in signature mode")
+	}
+}

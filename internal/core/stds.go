@@ -1,0 +1,294 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"stpq/internal/geo"
+	"stpq/internal/rtree"
+)
+
+// STDS executes the Spatio-Textual Data Scan baseline (paper Section 5,
+// Algorithms 1 and 2): it scans the data objects, computes each object's
+// spatio-textual score against every feature set, and keeps the k best.
+// The upper bound τ̂(p) — computed scores plus 1 per unknown set — skips
+// remaining score computations for hopeless objects, and with
+// Options.BatchSTDS (default in the experiments) objects are processed one
+// object-tree leaf at a time so that a whole batch shares each
+// feature-index traversal ("Performance improvements" paragraph).
+func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
+	if err := q.Validate(len(e.features)); err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	before := e.snapshotReads()
+	start := time.Now()
+	var (
+		results []Result
+		err     error
+	)
+	if q.Variant == RangeScore && e.opts.BatchSTDS {
+		results, err = e.stdsBatch(&q, &stats)
+	} else {
+		results, err = e.stdsSingle(&q, &stats)
+	}
+	e.finishStats(&stats, before, start)
+	if err != nil {
+		return nil, stats, err
+	}
+	sortResults(results)
+	return results, stats, nil
+}
+
+// topkAccumulator keeps the k highest-scoring objects and the running
+// threshold τ (the k-th best score so far, Algorithm 1 line 9).
+type topkAccumulator struct {
+	k    int
+	heap resultMinHeap
+}
+
+func newTopkAccumulator(k int) *topkAccumulator { return &topkAccumulator{k: k} }
+
+// threshold returns τ: the k-th best score, or −∞ while fewer than k
+// objects have been accepted.
+func (a *topkAccumulator) threshold() float64 {
+	if a.heap.Len() < a.k {
+		return negInf
+	}
+	return a.heap[0].Score
+}
+
+// offer considers one scored object.
+func (a *topkAccumulator) offer(r Result) {
+	if a.heap.Len() < a.k {
+		heap.Push(&a.heap, r)
+		return
+	}
+	if r.Score > a.heap[0].Score {
+		a.heap[0] = r
+		heap.Fix(&a.heap, 0)
+	}
+}
+
+// results drains the accumulator.
+func (a *topkAccumulator) results() []Result {
+	out := make([]Result, a.heap.Len())
+	copy(out, a.heap)
+	sortResults(out)
+	return out
+}
+
+// resultMinHeap is a min-heap by score (root = current k-th best).
+type resultMinHeap []Result
+
+func (h resultMinHeap) Len() int            { return len(h) }
+func (h resultMinHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMinHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// stdsSingle is the literal Algorithm 1: one object at a time, one
+// computeScore (Algorithm 2) call per feature set, with the τ̂ early
+// termination between sets.
+func (e *Engine) stdsSingle(q *Query, stats *Stats) ([]Result, error) {
+	acc := newTopkAccumulator(q.K)
+	c := len(e.features)
+	objs, err := e.objects.Tree().All()
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range objs {
+		stats.ObjectsScored++
+		sum := 0.0
+		complete := true
+		for i := 0; i < c; i++ {
+			// τ̂(p): known scores plus the maximum 1 per unknown set.
+			if sum+float64(c-i) <= acc.threshold() {
+				complete = false
+				break
+			}
+			ti, err := e.computeScore(i, q, obj.Point())
+			if err != nil {
+				return nil, err
+			}
+			sum += ti
+		}
+		if complete && sum > acc.threshold() {
+			acc.offer(Result{ID: obj.ItemID, Location: obj.Point(), Score: sum})
+		}
+	}
+	return acc.results(), nil
+}
+
+// computeScore is Algorithm 2 for one object: best-first over the feature
+// index ordered by ŝ(e), expanding only entries within range and with
+// positive textual similarity; the first in-range feature popped has the
+// maximum preference score. The influence and NN variants reuse the same
+// traversal with the modified priorities of Section 7.
+func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
+	switch q.Variant {
+	case InfluenceScore:
+		return e.computeInfluenceScore(set, q, p)
+	case NearestNeighborScore:
+		return e.computeNNScore(set, q, p)
+	}
+	idx := e.features[set]
+	qk := q.keywordsFor(set)
+	tree := idx.Tree()
+	if idx.Len() == 0 || qk.Set.IsEmpty() {
+		return 0, nil
+	}
+	prepared := idx.Prepare(qk)
+	root, err := tree.RootEntry()
+	if err != nil {
+		return 0, err
+	}
+	pq := &boundHeap{}
+	if idx.EntryRelevant(root, prepared) && root.Rect.MinDist(p) <= q.Radius {
+		heap.Push(pq, boundItem{entry: root, bound: idx.EntryBound(root, prepared)})
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(boundItem)
+		if it.entry.Leaf {
+			if it.entry.Point().Dist(p) > q.Radius {
+				continue
+			}
+			if it.resolved {
+				return it.bound, nil
+			}
+			score, relevant, err := idx.ResolveLeaf(it.entry, prepared)
+			if err != nil {
+				return 0, err
+			}
+			if !relevant {
+				continue
+			}
+			if pq.Len() == 0 || score >= (*pq)[0].bound-1e-12 {
+				return score, nil
+			}
+			heap.Push(pq, boundItem{entry: it.entry, bound: score, resolved: true})
+			continue
+		}
+		n, err := tree.Node(it.entry.Child)
+		if err != nil {
+			return 0, err
+		}
+		for _, child := range n.Entries {
+			if !idx.EntryRelevant(child, prepared) {
+				continue
+			}
+			if child.Rect.MinDist(p) > q.Radius {
+				continue
+			}
+			heap.Push(pq, boundItem{entry: child, bound: idx.EntryBound(child, prepared)})
+		}
+	}
+	return 0, nil
+}
+
+// computeInfluenceScore adapts Algorithm 2 to Definition 6: priorities are
+// ŝ(e)·2^(−mindist(p,e)/r), the range predicate is dropped, and the first
+// feature popped is exact because its priority dominates all bounds left
+// in the heap.
+func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, error) {
+	idx := e.features[set]
+	qk := q.keywordsFor(set)
+	tree := idx.Tree()
+	if idx.Len() == 0 || qk.Set.IsEmpty() {
+		return 0, nil
+	}
+	prepared := idx.Prepare(qk)
+	root, err := tree.RootEntry()
+	if err != nil {
+		return 0, err
+	}
+	decay := func(en rtree.Entry) float64 {
+		var d float64
+		if en.Leaf {
+			d = en.Point().Dist(p)
+		} else {
+			d = en.Rect.MinDist(p)
+		}
+		return math.Exp2(-d / q.Radius)
+	}
+	pq := &boundHeap{}
+	if idx.EntryRelevant(root, prepared) {
+		heap.Push(pq, boundItem{entry: root, bound: idx.EntryBound(root, prepared) * decay(root)})
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(boundItem)
+		if it.entry.Leaf {
+			if it.resolved {
+				return it.bound, nil
+			}
+			score, relevant, err := idx.ResolveLeaf(it.entry, prepared)
+			if err != nil {
+				return 0, err
+			}
+			if !relevant {
+				continue
+			}
+			exact := score * decay(it.entry)
+			if pq.Len() == 0 || exact >= (*pq)[0].bound-1e-12 {
+				return exact, nil
+			}
+			heap.Push(pq, boundItem{entry: it.entry, bound: exact, resolved: true})
+			continue
+		}
+		n, err := tree.Node(it.entry.Child)
+		if err != nil {
+			return 0, err
+		}
+		for _, child := range n.Entries {
+			if !idx.EntryRelevant(child, prepared) {
+				continue
+			}
+			heap.Push(pq, boundItem{entry: child, bound: idx.EntryBound(child, prepared) * decay(child)})
+		}
+	}
+	return 0, nil
+}
+
+// computeNNScore adapts Algorithm 2 to Definition 7: entries are
+// prioritized by minimum distance (no textual pruning — the nearest
+// neighbor is defined over the whole feature set), and the first feature
+// popped is p's NN; its score counts only if it is textually relevant.
+func (e *Engine) computeNNScore(set int, q *Query, p pointArg) (float64, error) {
+	idx := e.features[set]
+	qk := q.keywordsFor(set)
+	if idx.Len() == 0 || qk.Set.IsEmpty() {
+		return 0, nil
+	}
+	prepared := idx.Prepare(qk)
+	var (
+		score      float64
+		resolveErr error
+	)
+	err := idx.Tree().AscendDistance(p, func(en rtree.Entry, _ float64) bool {
+		// First popped leaf is the nearest neighbor; its score counts
+		// only if it is truly relevant (signature hits are verified).
+		if idx.EntryRelevant(en, prepared) {
+			s, relevant, err := idx.ResolveLeaf(en, prepared)
+			if err != nil {
+				resolveErr = err
+			} else if relevant {
+				score = s
+			}
+		}
+		return false
+	})
+	if err == nil {
+		err = resolveErr
+	}
+	return score, err
+}
+
+// pointArg aliases geo.Point to keep the compute-score signatures compact.
+type pointArg = geo.Point

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"container/heap"
+
+	"stpq/internal/geo"
+	"stpq/internal/rtree"
+)
+
+// stdsBatch is the improved STDS of Section 5 ("Performance
+// improvements"): instead of one feature-index traversal per data object,
+// a whole batch of objects — one leaf page of the object R-tree, which is
+// spatially coherent — shares a single best-first traversal per feature
+// set. An index entry is expanded if it is within range of at least one
+// unresolved object of the batch; when a feature object is popped, every
+// batch object within distance r takes its score (the maximum, because
+// features arrive in non-increasing s(t)) and leaves the batch.
+func (e *Engine) stdsBatch(q *Query, stats *Stats) ([]Result, error) {
+	acc := newTopkAccumulator(q.K)
+	c := len(e.features)
+	var walkErr error
+	err := e.objects.Tree().Leaves(func(batch []rtree.Entry) bool {
+		objs := make([]*batchObj, len(batch))
+		for i, en := range batch {
+			objs[i] = &batchObj{entry: en}
+			stats.ObjectsScored++
+		}
+		active := objs
+		for set := 0; set < c && len(active) > 0; set++ {
+			if err := e.batchRangeScores(set, q, active); err != nil {
+				walkErr = err
+				return false
+			}
+			// τ̂ pruning between feature sets (Algorithm 1 line 6): drop
+			// objects whose best possible total cannot beat the current
+			// threshold.
+			tau := acc.threshold()
+			remaining := float64(c - set - 1)
+			kept := active[:0]
+			for _, o := range active {
+				if o.sum+remaining > tau {
+					kept = append(kept, o)
+				}
+			}
+			active = kept
+		}
+		for _, o := range active {
+			if o.sum > acc.threshold() {
+				acc.offer(Result{ID: o.entry.ItemID, Location: o.entry.Point(), Score: o.sum})
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return acc.results(), nil
+}
+
+// batchObj tracks one data object through the per-set score computations.
+type batchObj struct {
+	entry    rtree.Entry
+	sum      float64
+	resolved bool // score for the current feature set found
+}
+
+// batchRangeScores runs the batched Algorithm 2 for one feature set,
+// adding each object's τ_i(p) to its running sum.
+func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
+	idx := e.features[set]
+	qk := q.keywordsFor(set)
+	if idx.Len() == 0 || qk.Set.IsEmpty() {
+		return nil // every τ_i is 0
+	}
+	prepared := idx.Prepare(qk)
+	for _, o := range batch {
+		o.resolved = false
+	}
+	tree := idx.Tree()
+	root, err := tree.RootEntry()
+	if err != nil {
+		return err
+	}
+	unresolved := len(batch)
+	withinAny := func(en rtree.Entry) bool {
+		for _, o := range batch {
+			if o.resolved {
+				continue
+			}
+			if en.Rect.MinDist(o.entry.Point()) <= q.Radius {
+				return true
+			}
+		}
+		return false
+	}
+	assign := func(fp geo.Point, score float64) {
+		for _, o := range batch {
+			if o.resolved {
+				continue
+			}
+			if o.entry.Point().Dist(fp) <= q.Radius {
+				o.sum += score
+				o.resolved = true
+				unresolved--
+			}
+		}
+	}
+	pq := &boundHeap{}
+	if idx.EntryRelevant(root, prepared) && withinAny(root) {
+		heap.Push(pq, boundItem{entry: root, bound: idx.EntryBound(root, prepared)})
+	}
+	for pq.Len() > 0 && unresolved > 0 {
+		it := heap.Pop(pq).(boundItem)
+		if it.entry.Leaf {
+			fp := it.entry.Point()
+			if it.resolved {
+				assign(fp, it.bound)
+				continue
+			}
+			if !withinAny(it.entry) {
+				continue // no candidate object: skip the verification read
+			}
+			score, relevant, err := idx.ResolveLeaf(it.entry, prepared)
+			if err != nil {
+				return err
+			}
+			if !relevant {
+				continue
+			}
+			if pq.Len() == 0 || score >= (*pq)[0].bound-1e-12 {
+				assign(fp, score)
+			} else {
+				heap.Push(pq, boundItem{entry: it.entry, bound: score, resolved: true})
+			}
+			continue
+		}
+		n, err := tree.Node(it.entry.Child)
+		if err != nil {
+			return err
+		}
+		for _, child := range n.Entries {
+			if !idx.EntryRelevant(child, prepared) {
+				continue
+			}
+			if !withinAny(child) {
+				continue
+			}
+			heap.Push(pq, boundItem{entry: child, bound: idx.EntryBound(child, prepared)})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+
+	"stpq/internal/geo"
+	"stpq/internal/rtree"
+	"stpq/internal/voronoi"
+)
+
+// STPS executes the Spatio-Textual Preference Search algorithm (paper
+// Section 6 for the range variant, Section 7 for the influence and NN
+// variants): it retrieves highly ranked valid combinations of feature
+// objects first, then searches for data objects in their neighborhood.
+func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
+	if err := q.Validate(len(e.features)); err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	before := e.snapshotReads()
+	start := time.Now()
+	var (
+		results []Result
+		err     error
+	)
+	switch q.Variant {
+	case RangeScore:
+		results, err = e.stpsRange(&q, &stats)
+	case InfluenceScore:
+		results, err = e.stpsInfluence(&q, &stats)
+	case NearestNeighborScore:
+		results, err = e.stpsNearestNeighbor(&q, &stats)
+	}
+	e.finishStats(&stats, before, start)
+	if err != nil {
+		return nil, stats, err
+	}
+	sortResults(results)
+	return results, stats, nil
+}
+
+// sortResults orders by score descending, breaking ties by id for
+// deterministic output.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// stpsRange is Algorithm 3: emit valid combinations in non-increasing
+// score; every not-yet-seen data object within distance r of all feature
+// objects of the combination has exactly that combination's score
+// (Lemma 1), so results stream out in final order.
+func (e *Engine) stpsRange(q *Query, stats *Stats) ([]Result, error) {
+	cs, err := newCombinationStream(e, q, true, stats)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int64]bool)
+	results := make([]Result, 0, q.K)
+	for len(results) < q.K {
+		comb, ok, err := cs.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		limit := q.K - len(results)
+		err = e.objectsMatchingRangeCombo(comb, q.Radius, func(entry rtree.Entry) bool {
+			if seen[entry.ItemID] {
+				return true
+			}
+			seen[entry.ItemID] = true
+			stats.ObjectsScored++
+			results = append(results, Result{ID: entry.ItemID, Location: entry.Point(), Score: comb.score})
+			limit--
+			return limit > 0
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// objectsMatchingRangeCombo visits data objects within distance r of every
+// concrete feature of the combination (getDataObjects, Section 6.4).
+// Subtrees are pruned as soon as one feature is farther than r from the
+// node MBR.
+func (e *Engine) objectsMatchingRangeCombo(comb combination, r float64, fn func(rtree.Entry) bool) error {
+	anchors := make([]geo.Point, 0, len(comb.refs))
+	for _, ref := range comb.refs {
+		if !ref.virtual {
+			anchors = append(anchors, ref.entry.Point())
+		}
+	}
+	return e.objects.Tree().SearchFiltered(func(en rtree.Entry) bool {
+		if en.Leaf {
+			p := en.Point()
+			for _, a := range anchors {
+				if p.Dist(a) > r {
+					return false
+				}
+			}
+			return true
+		}
+		for _, a := range anchors {
+			if en.Rect.MinDist(a) > r {
+				return false
+			}
+		}
+		return true
+	}, fn)
+}
+
+// stpsInfluence is Algorithm 5. Combinations arrive in non-increasing
+// s(C), which upper-bounds the influence score of any object under any
+// unseen combination (the score at distance 0), so the loop stops once
+// s(C) no longer exceeds the current k-th object score.
+func (e *Engine) stpsInfluence(q *Query, stats *Stats) ([]Result, error) {
+	cs, err := newCombinationStream(e, q, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	acc := newInfluenceTopK(q.K)
+	for {
+		comb, ok, err := cs.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if acc.full() && comb.score <= acc.threshold() {
+			break
+		}
+		// Geometric refinement: s(C) assumes an object at distance 0 from
+		// every feature; when the features are far apart no object can
+		// collect their full scores simultaneously. Skip the object
+		// search when even the geometric bound cannot beat τ. (Exact: the
+		// bound dominates Σ s_i·2^(−dist(p,t_i)/r) for every p.)
+		if acc.full() && comboInfluenceBound(comb, q.Radius) <= acc.threshold() {
+			continue
+		}
+		err = e.topKInfluence(comb, q, acc.threshold(), func(id int64, loc geo.Point, score float64) {
+			if acc.offer(id, loc, score) {
+				stats.ObjectsScored++
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.results(), nil
+}
+
+// influenceTopK maintains the running top-k of the influence variant: the
+// best known score per object (scores only improve as combinations with
+// new geometry arrive) and the current k best, kept sorted so the k-th
+// score — Algorithm 5's threshold τ — is O(1).
+type influenceTopK struct {
+	k    int
+	best map[int64]float64
+	top  []Result // sorted by score descending, at most k entries
+}
+
+func newInfluenceTopK(k int) *influenceTopK {
+	return &influenceTopK{k: k, best: make(map[int64]float64)}
+}
+
+// full reports whether k objects have been seen.
+func (a *influenceTopK) full() bool { return len(a.top) >= a.k }
+
+// threshold returns the k-th best score, or −∞ before k objects are known.
+func (a *influenceTopK) threshold() float64 {
+	if !a.full() {
+		return negInf
+	}
+	return a.top[a.k-1].Score
+}
+
+// offer records a (possibly improved) score for an object and reports
+// whether the object was new.
+func (a *influenceTopK) offer(id int64, loc geo.Point, score float64) (isNew bool) {
+	prev, exists := a.best[id]
+	if exists && score <= prev {
+		return false
+	}
+	a.best[id] = score
+	// Remove a stale entry for this object from the top list.
+	if exists {
+		for i := range a.top {
+			if a.top[i].ID == id {
+				a.top = append(a.top[:i], a.top[i+1:]...)
+				break
+			}
+		}
+	}
+	r := Result{ID: id, Location: loc, Score: score}
+	// Insert in sorted position if it belongs in the top k.
+	pos := sort.Search(len(a.top), func(i int) bool { return a.top[i].Score < score })
+	if pos < a.k {
+		a.top = append(a.top, Result{})
+		copy(a.top[pos+1:], a.top[pos:])
+		a.top[pos] = r
+		if len(a.top) > a.k {
+			a.top = a.top[:a.k]
+		}
+	}
+	return !exists
+}
+
+// results returns the final top-k, sorted.
+func (a *influenceTopK) results() []Result {
+	out := make([]Result, len(a.top))
+	copy(out, a.top)
+	sortResults(out)
+	return out
+}
+
+// comboInfluenceBound upper-bounds the influence score any location p can
+// achieve under the combination: writing u_j = 2^(−dist(p,t_j)/r) and
+// letting i be p's nearest feature (u_i maximal), the triangle inequality
+// gives u_i·u_j ≤ 2^(−d_ij/r), hence u_j ≤ 2^(−d_ij/(2r)), so
+//
+//	Σ_j s_j·u_j ≤ s_i + Σ_{j≠i} s_j·2^(−d_ij/(2r)).
+//
+// Maximizing over the (unknown) nearest feature i yields a sound bound
+// that collapses for feature pairs much farther apart than r.
+func comboInfluenceBound(comb combination, r float64) float64 {
+	best := 0.0
+	for i, ri := range comb.refs {
+		if ri.virtual {
+			continue
+		}
+		v := ri.score
+		for j, rj := range comb.refs {
+			if j == i || rj.virtual {
+				continue
+			}
+			d := ri.entry.Point().Dist(rj.entry.Point())
+			v += rj.score * math.Exp2(-d/(2*r))
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// topKInfluence runs a best-first top-k search on the object R-tree where
+// an object's priority is its influence score under this combination,
+// Σ_i s(t_i)·2^(−dist(p,t_i)/r), and a node's priority (using MINDIST)
+// upper-bounds every object below. Objects with score ≤ tau cannot change
+// the current top-k and stop the search.
+func (e *Engine) topKInfluence(comb combination, q *Query, tau float64, emit func(int64, geo.Point, float64)) error {
+	type anchor struct {
+		pt geo.Point
+		s  float64
+	}
+	anchors := make([]anchor, 0, len(comb.refs))
+	for _, ref := range comb.refs {
+		if !ref.virtual {
+			anchors = append(anchors, anchor{pt: ref.entry.Point(), s: ref.score})
+		}
+	}
+	prio := func(en rtree.Entry) float64 {
+		sum := 0.0
+		for _, a := range anchors {
+			var d float64
+			if en.Leaf {
+				d = en.Point().Dist(a.pt)
+			} else {
+				d = en.Rect.MinDist(a.pt)
+			}
+			sum += a.s * math.Exp2(-d/q.Radius)
+		}
+		return sum
+	}
+	root, err := e.objects.Tree().RootEntry()
+	if err != nil {
+		return err
+	}
+	pq := &boundHeap{}
+	heap.Push(pq, boundItem{entry: root, bound: prio(root)})
+	remaining := q.K
+	for pq.Len() > 0 && remaining > 0 {
+		it := heap.Pop(pq).(boundItem)
+		if it.bound <= tau {
+			return nil // nothing below can improve the top-k
+		}
+		if it.entry.Leaf {
+			emit(it.entry.ItemID, it.entry.Point(), it.bound)
+			remaining--
+			continue
+		}
+		n, err := e.objects.Tree().Node(it.entry.Child)
+		if err != nil {
+			return err
+		}
+		for _, c := range n.Entries {
+			heap.Push(pq, boundItem{entry: c, bound: prio(c)})
+		}
+	}
+	return nil
+}
+
+// stpsNearestNeighbor processes the NN variant (Section 7.2): for each
+// combination, the qualifying region is the intersection of the Voronoi
+// cells of its feature objects; data objects inside it have exactly the
+// combination's score. Cells are built incrementally and the combination
+// is discarded as soon as the intersection becomes empty.
+func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats) ([]Result, error) {
+	cs, err := newCombinationStream(e, q, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int64]bool)
+	results := make([]Result, 0, q.K)
+	cellCache := e.cells // cross-query cache when enabled
+	if cellCache == nil {
+		cellCache = make(map[cellKey]geo.Polygon)
+	}
+	radii := make(map[cellKey]float64)
+	for len(results) < q.K {
+		comb, ok, err := cs.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if comboCellsDisjoint(comb, radii) {
+			continue
+		}
+		region, err := e.comboRegion(comb, cellCache, radii, stats)
+		if err != nil {
+			return nil, err
+		}
+		if region.IsEmpty() {
+			continue
+		}
+		limit := q.K - len(results)
+		err = e.objects.Tree().SearchPolygon(region, func(entry rtree.Entry) bool {
+			if seen[entry.ItemID] {
+				return true
+			}
+			seen[entry.ItemID] = true
+			stats.ObjectsScored++
+			results = append(results, Result{ID: entry.ItemID, Location: entry.Point(), Score: comb.score})
+			limit--
+			return limit > 0
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// cellKey identifies a cached Voronoi cell.
+type cellKey struct {
+	set int
+	id  int64
+}
+
+// comboCellsDisjoint quick-rejects a combination when two of its features'
+// Voronoi cells cannot intersect: every cell lies inside the circle of
+// radius maxDist(site, cell) around its site, so sites farther apart than
+// the radius sum have disjoint cells. Radii are looked up from the cell
+// cache; unknown cells (not yet computed) do not reject.
+func comboCellsDisjoint(comb combination, radii map[cellKey]float64) bool {
+	type disk struct {
+		pt geo.Point
+		r  float64
+	}
+	disks := make([]disk, 0, len(comb.refs))
+	for i, ref := range comb.refs {
+		if ref.virtual {
+			continue
+		}
+		r, ok := radii[cellKey{set: i, id: ref.entry.ItemID}]
+		if !ok {
+			continue
+		}
+		disks = append(disks, disk{pt: ref.entry.Point(), r: r})
+	}
+	for i := 0; i < len(disks); i++ {
+		for j := i + 1; j < len(disks); j++ {
+			if disks[i].pt.Dist(disks[j].pt) > disks[i].r+disks[j].r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// comboRegion intersects the Voronoi cells of the combination's concrete
+// features, attributing the construction cost to the Voronoi counters
+// (the striped bars of Figures 13–14).
+func (e *Engine) comboRegion(comb combination, cache map[cellKey]geo.Polygon, radii map[cellKey]float64, stats *Stats) (geo.Polygon, error) {
+	region := geo.UnitSquare()
+	vorStart := time.Now()
+	vorBefore := e.snapshotReads()
+	defer func() {
+		stats.VoronoiCPUTime += time.Since(vorStart)
+		stats.VoronoiReads += e.snapshotReads().Sub(vorBefore).PhysicalReads
+	}()
+	for i, ref := range comb.refs {
+		if ref.virtual {
+			continue
+		}
+		key := cellKey{set: i, id: ref.entry.ItemID}
+		cell, ok := cache[key]
+		if !ok {
+			var err error
+			cell, err = e.voronoiCell(i, ref.entry)
+			if err != nil {
+				return geo.Polygon{}, err
+			}
+			cache[key] = cell
+		}
+		if _, ok := radii[key]; !ok {
+			radii[key] = cell.MaxDist(ref.entry.Point())
+		}
+		region = region.IntersectConvex(cell)
+		if region.IsEmpty() {
+			return geo.Polygon{}, nil
+		}
+	}
+	return region, nil
+}
+
+// voronoiCell computes the exact Voronoi cell of a feature within its
+// feature set by streaming neighbors in increasing distance until the
+// 2·maxdist stopping rule fires.
+func (e *Engine) voronoiCell(set int, site rtree.Entry) (geo.Polygon, error) {
+	b := voronoi.NewCellBuilder(site.Point(), geo.UnitSquare())
+	err := e.features[set].Tree().AscendDistance(site.Point(), func(en rtree.Entry, d float64) bool {
+		if en.ItemID == site.ItemID {
+			return true
+		}
+		if b.Done(d) {
+			return false
+		}
+		b.Clip(en.Point())
+		return true
+	})
+	if err != nil {
+		return geo.Polygon{}, err
+	}
+	return b.Cell(), nil
+}

@@ -1,0 +1,153 @@
+// Package datagen generates the evaluation datasets of the paper
+// (Section 8.1): synthetic clustered datasets of configurable cardinality,
+// vocabulary size and feature-set count, and a surrogate of the real
+// Factual.com dataset (hotels and restaurants over 13 US states with ~130
+// cuisine keywords), plus query workloads that follow the data
+// distribution.
+//
+// All generators are deterministic given a seed, so experiments are
+// reproducible run-to-run.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+)
+
+// Dataset is a generated world: data objects plus c feature sets over a
+// shared vocabulary.
+type Dataset struct {
+	Objects     []index.Object
+	FeatureSets [][]index.Feature
+	VocabWidth  int
+	// keywordCDF holds, per feature set, the cumulative keyword frequency
+	// used to draw query keywords from the data distribution.
+	keywordCDF [][]float64
+}
+
+// SyntheticConfig controls the synthetic clustered generator. Zero values
+// take the paper's defaults (Table 2 bold entries).
+type SyntheticConfig struct {
+	Objects        int // |O|, default 100,000
+	FeaturesPerSet int // |F_i|, default 100,000
+	FeatureSets    int // c, default 2
+	Vocab          int // distinct keywords, default 256
+	Clusters       int // default 10,000
+	MinKeywords    int // per feature, default 1
+	MaxKeywords    int // per feature, default 3
+	Seed           int64
+}
+
+// withDefaults fills zero values with the paper's defaults.
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.Objects == 0 {
+		c.Objects = 100_000
+	}
+	if c.FeaturesPerSet == 0 {
+		c.FeaturesPerSet = 100_000
+	}
+	if c.FeatureSets == 0 {
+		c.FeatureSets = 2
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 256
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 10_000
+	}
+	if c.MinKeywords == 0 {
+		c.MinKeywords = 1
+	}
+	if c.MaxKeywords < c.MinKeywords {
+		c.MaxKeywords = c.MinKeywords + 2
+	}
+	return c
+}
+
+// Synthetic generates a clustered dataset: cluster centers are uniform in
+// the unit square and points scatter around them with a small Gaussian
+// spread, keywords are drawn uniformly from the vocabulary (as in the
+// paper), and non-spatial scores are uniform in [0,1].
+func Synthetic(cfg SyntheticConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([]geo.Point, cfg.Clusters)
+	for i := range centers {
+		centers[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	const spread = 0.003 // cluster radius; 10k clusters tile the square finely
+	drawPoint := func() geo.Point {
+		c := centers[rng.Intn(len(centers))]
+		return geo.Point{
+			X: clamp01(c.X + spread*rng.NormFloat64()),
+			Y: clamp01(c.Y + spread*rng.NormFloat64()),
+		}
+	}
+	ds := &Dataset{VocabWidth: cfg.Vocab}
+	ds.Objects = make([]index.Object, cfg.Objects)
+	for i := range ds.Objects {
+		ds.Objects[i] = index.Object{ID: int64(i), Location: drawPoint()}
+	}
+	ds.FeatureSets = make([][]index.Feature, cfg.FeatureSets)
+	ds.keywordCDF = make([][]float64, cfg.FeatureSets)
+	for s := range ds.FeatureSets {
+		counts := make([]float64, cfg.Vocab)
+		feats := make([]index.Feature, cfg.FeaturesPerSet)
+		for i := range feats {
+			kw := kwset.NewSet(cfg.Vocab)
+			n := cfg.MinKeywords + rng.Intn(cfg.MaxKeywords-cfg.MinKeywords+1)
+			for j := 0; j < n; j++ {
+				id := rng.Intn(cfg.Vocab)
+				kw.Add(id)
+				counts[id]++
+			}
+			feats[i] = index.Feature{
+				ID:       int64(i),
+				Location: drawPoint(),
+				Score:    rng.Float64(),
+				Keywords: kw,
+			}
+		}
+		ds.FeatureSets[s] = feats
+		ds.keywordCDF[s] = cumulate(counts)
+	}
+	return ds
+}
+
+// clamp01 clips v into [0,1].
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+// cumulate converts counts into a normalized CDF.
+func cumulate(counts []float64) []float64 {
+	cdf := make([]float64, len(counts))
+	total := 0.0
+	for i, c := range counts {
+		total += c
+		cdf[i] = total
+	}
+	if total > 0 {
+		for i := range cdf {
+			cdf[i] /= total
+		}
+	}
+	return cdf
+}
+
+// drawFromCDF samples a keyword id from the cumulative distribution.
+func drawFromCDF(rng *rand.Rand, cdf []float64) int {
+	u := rng.Float64()
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

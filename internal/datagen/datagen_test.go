@@ -1,0 +1,229 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"stpq/internal/core"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	ds := Synthetic(SyntheticConfig{Objects: 5000, FeaturesPerSet: 4000, Clusters: 100, Vocab: 64})
+	if len(ds.Objects) != 5000 {
+		t.Fatalf("objects = %d", len(ds.Objects))
+	}
+	if len(ds.FeatureSets) != 2 {
+		t.Fatalf("feature sets = %d", len(ds.FeatureSets))
+	}
+	for _, fs := range ds.FeatureSets {
+		if len(fs) != 4000 {
+			t.Fatalf("features = %d", len(fs))
+		}
+		for _, f := range fs {
+			if f.Score < 0 || f.Score > 1 {
+				t.Fatalf("score %v out of range", f.Score)
+			}
+			if f.Keywords.Count() < 1 || f.Keywords.Count() > 3 {
+				t.Fatalf("keyword count %d", f.Keywords.Count())
+			}
+			if f.Location.X < 0 || f.Location.X > 1 || f.Location.Y < 0 || f.Location.Y > 1 {
+				t.Fatalf("location %v out of unit square", f.Location)
+			}
+		}
+	}
+	if ds.VocabWidth != 64 {
+		t.Fatalf("vocab = %d", ds.VocabWidth)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticConfig{Objects: 500, FeaturesPerSet: 500, Clusters: 50, Vocab: 32, Seed: 7})
+	b := Synthetic(SyntheticConfig{Objects: 500, FeaturesPerSet: 500, Clusters: 50, Vocab: 32, Seed: 7})
+	for i := range a.Objects {
+		if a.Objects[i].Location != b.Objects[i].Location {
+			t.Fatal("same seed must give same objects")
+		}
+	}
+	for s := range a.FeatureSets {
+		for i := range a.FeatureSets[s] {
+			fa, fb := a.FeatureSets[s][i], b.FeatureSets[s][i]
+			if fa.Location != fb.Location || fa.Score != fb.Score || !fa.Keywords.Equal(fb.Keywords) {
+				t.Fatal("same seed must give same features")
+			}
+		}
+	}
+	c := Synthetic(SyntheticConfig{Objects: 500, FeaturesPerSet: 500, Clusters: 50, Vocab: 32, Seed: 8})
+	same := true
+	for i := range a.Objects {
+		if a.Objects[i].Location != c.Objects[i].Location {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// The synthetic data must actually be clustered: average nearest-cluster
+// spread is tiny, so the mean distance of consecutive points drawn from
+// the same generator is far below the uniform expectation (~0.52).
+func TestSyntheticIsClustered(t *testing.T) {
+	ds := Synthetic(SyntheticConfig{Objects: 4000, FeaturesPerSet: 10, Clusters: 40, Vocab: 8, Seed: 3})
+	// Count objects within 0.01 of each cluster-mate. With 40 clusters
+	// over 4000 points, each point should have ~dozens of near neighbors;
+	// uniform data would have ~4000·π·0.0001 ≈ 1.3.
+	sample := ds.Objects[:200]
+	near := 0
+	for _, o := range sample {
+		for _, p := range ds.Objects {
+			if o.ID != p.ID && o.Location.Dist(p.Location) < 0.01 {
+				near++
+			}
+		}
+	}
+	avg := float64(near) / float64(len(sample))
+	if avg < 10 {
+		t.Errorf("data does not look clustered: avg near neighbors %v", avg)
+	}
+}
+
+func TestRealLikeShape(t *testing.T) {
+	ds := RealLike(RealLikeConfig{Hotels: 2500, Restaurants: 7900, Seed: 1})
+	if len(ds.Objects) != 2500 {
+		t.Fatalf("hotels = %d", len(ds.Objects))
+	}
+	if len(ds.FeatureSets) != 1 || len(ds.FeatureSets[0]) != 7900 {
+		t.Fatalf("restaurants shape wrong")
+	}
+	if ds.VocabWidth != len(Cuisines) {
+		t.Fatalf("vocab = %d, want %d", ds.VocabWidth, len(Cuisines))
+	}
+	// Ratings quantized to tenths in [0,1].
+	for _, f := range ds.FeatureSets[0] {
+		if f.Score < 0 || f.Score > 1 {
+			t.Fatalf("rating %v", f.Score)
+		}
+		if math.Abs(f.Score*10-math.Round(f.Score*10)) > 1e-9 {
+			t.Fatalf("rating %v not quantized", f.Score)
+		}
+	}
+}
+
+func TestRealLikeTwoFeatureSets(t *testing.T) {
+	ds := RealLike(RealLikeConfig{Hotels: 1000, Restaurants: 5000, FeatureSets: 2, Seed: 2})
+	if len(ds.FeatureSets) != 2 {
+		t.Fatalf("sets = %d", len(ds.FeatureSets))
+	}
+	if len(ds.FeatureSets[0])+len(ds.FeatureSets[1]) != 5000 {
+		t.Fatal("restaurants not partitioned")
+	}
+}
+
+// Real-like data must form few large clusters: the fraction of points
+// within 0.1 of a randomly chosen point should be much higher than for
+// uniform data.
+func TestRealLikeFewClusters(t *testing.T) {
+	ds := RealLike(RealLikeConfig{Hotels: 3000, Restaurants: 100, Seed: 4})
+	center := ds.Objects[0].Location
+	near := 0
+	for _, o := range ds.Objects {
+		if o.Location.Dist(center) < 0.1 {
+			near++
+		}
+	}
+	frac := float64(near) / float64(len(ds.Objects))
+	if frac < 0.03 { // uniform would give ~π·0.01 ≈ 3%; clustered should exceed it
+		t.Errorf("fraction near cluster %v looks uniform", frac)
+	}
+}
+
+// Zipf skew: the most popular cuisine must appear much more often than the
+// median one.
+func TestRealLikeKeywordSkew(t *testing.T) {
+	ds := RealLike(RealLikeConfig{Hotels: 10, Restaurants: 20000, Seed: 5})
+	counts := make([]int, ds.VocabWidth)
+	for _, f := range ds.FeatureSets[0] {
+		f.Keywords.ForEach(func(id int) { counts[id]++ })
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if float64(max) < 0.1*float64(sum) {
+		t.Errorf("keyword distribution not skewed: max %d of %d", max, sum)
+	}
+}
+
+func TestGenQueriesDefaults(t *testing.T) {
+	ds := Synthetic(SyntheticConfig{Objects: 100, FeaturesPerSet: 1000, Clusters: 20, Vocab: 64, Seed: 6})
+	qs := ds.GenQueries(50, QueryConfig{})
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.K != 10 || q.Radius != 0.01 || q.Lambda != 0.5 {
+			t.Fatalf("defaults wrong: %+v", q)
+		}
+		if len(q.Keywords) != 2 {
+			t.Fatalf("keyword sets = %d", len(q.Keywords))
+		}
+		for _, kws := range q.Keywords {
+			if kws.Count() != 3 {
+				t.Fatalf("queried keywords = %d, want 3", kws.Count())
+			}
+		}
+	}
+}
+
+func TestGenQueriesFollowDistribution(t *testing.T) {
+	// Feature keywords concentrated on ids 0..7; queries must stay there.
+	ds := Synthetic(SyntheticConfig{Objects: 10, FeaturesPerSet: 2000, Clusters: 5, Vocab: 8, Seed: 9})
+	// Widen the vocabulary without adding any data keywords beyond 8.
+	ds.VocabWidth = 64
+	qs := ds.GenQueries(100, QueryConfig{NumKeywords: 2, Seed: 10})
+	for _, q := range qs {
+		for _, kws := range q.Keywords {
+			kws.ForEach(func(id int) {
+				if id >= 8 {
+					t.Fatalf("query keyword %d outside data distribution", id)
+				}
+			})
+		}
+	}
+}
+
+func TestGenQueriesVariant(t *testing.T) {
+	ds := Synthetic(SyntheticConfig{Objects: 10, FeaturesPerSet: 100, Clusters: 5, Vocab: 16, Seed: 11})
+	qs := ds.GenQueries(5, QueryConfig{Variant: core.InfluenceScore, K: 7, Radius: 0.02, Lambda: 0.3, NumKeywords: 1})
+	for _, q := range qs {
+		if q.Variant != core.InfluenceScore || q.K != 7 {
+			t.Fatalf("config not applied: %+v", q)
+		}
+	}
+}
+
+func TestCuisineVocabulary(t *testing.T) {
+	v := CuisineVocabulary()
+	if v.Size() != len(Cuisines) {
+		t.Fatalf("vocabulary size %d, want %d (duplicate cuisine entries?)", v.Size(), len(Cuisines))
+	}
+	if v.Lookup("pizza") < 0 {
+		t.Fatal("pizza missing")
+	}
+}
+
+func TestRatingDistribution(t *testing.T) {
+	ds := RealLike(RealLikeConfig{Hotels: 10, Restaurants: 10000, Seed: 12})
+	sum := 0.0
+	for _, f := range ds.FeatureSets[0] {
+		sum += f.Score
+	}
+	mean := sum / float64(len(ds.FeatureSets[0]))
+	if mean < 0.55 || mean > 0.85 {
+		t.Errorf("mean rating %v outside review-like range", mean)
+	}
+}

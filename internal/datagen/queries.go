@@ -1,0 +1,63 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"stpq/internal/core"
+	"stpq/internal/kwset"
+)
+
+// QueryConfig fixes the query parameters of a generated workload
+// (defaults are Table 2's bold entries).
+type QueryConfig struct {
+	K           int     // default 10
+	Radius      float64 // default 0.01 (normalized)
+	Lambda      float64 // default 0.5
+	NumKeywords int     // queried keywords per feature set, default 3
+	Variant     core.Variant
+	Seed        int64
+}
+
+// withDefaults fills zero values with the paper's defaults.
+func (c QueryConfig) withDefaults() QueryConfig {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.Radius == 0 {
+		c.Radius = 0.01
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.5
+	}
+	if c.NumKeywords == 0 {
+		c.NumKeywords = 3
+	}
+	return c
+}
+
+// GenQueries produces n random queries whose keywords follow the keyword
+// distribution of each feature set — the paper's "generated in a similar
+// way as the synthetic data and follow the same data distribution".
+func (d *Dataset) GenQueries(n int, cfg QueryConfig) []core.Query {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x9e3779b9))
+	out := make([]core.Query, n)
+	for i := range out {
+		kws := make([]kwset.Set, len(d.FeatureSets))
+		for s := range kws {
+			set := kwset.NewSet(d.VocabWidth)
+			for set.Count() < cfg.NumKeywords {
+				set.Add(drawFromCDF(rng, d.keywordCDF[s]))
+			}
+			kws[s] = set
+		}
+		out[i] = core.Query{
+			K:        cfg.K,
+			Radius:   cfg.Radius,
+			Lambda:   cfg.Lambda,
+			Keywords: kws,
+			Variant:  cfg.Variant,
+		}
+	}
+	return out
+}

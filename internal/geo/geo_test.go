@@ -1,0 +1,217 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+		{Point{0.5, 0.5}, Point{0.5, 0.75}, 0.25},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.p.Dist2(tc.q); math.Abs(got-tc.want*tc.want) > 1e-12 {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{clamp01(ax), clamp01(ay)}, Point{clamp01(bx), clamp01(by)}
+		return math.Abs(a.Dist(b)-b.Dist(a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{clamp01(ax), clamp01(ay)}
+		b := Point{clamp01(bx), clamp01(by)}
+		c := Point{clamp01(cx), clamp01(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	v = math.Abs(v)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0.5
+	}
+	return v - math.Floor(v)
+}
+
+func TestRectUnionContains(t *testing.T) {
+	r := RectOf(Point{0.2, 0.3})
+	s := RectOf(Point{0.8, 0.1})
+	u := r.Union(s)
+	if !u.Contains(Point{0.2, 0.3}) || !u.Contains(Point{0.8, 0.1}) {
+		t.Fatalf("union %v does not contain inputs", u)
+	}
+	if u.Min.X != 0.2 || u.Min.Y != 0.1 || u.Max.X != 0.8 || u.Max.Y != 0.3 {
+		t.Fatalf("unexpected union %v", u)
+	}
+}
+
+func TestEmptyRectIdentity(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	r := Rect{Point{0.1, 0.2}, Point{0.5, 0.6}}
+	if got := e.Union(r); got != r {
+		t.Fatalf("EmptyRect.Union(%v) = %v", r, got)
+	}
+	if got := r.Union(e); got != r {
+		t.Fatalf("r.Union(EmptyRect) = %v", got)
+	}
+	if e.Area() != 0 || e.Perimeter() != 0 {
+		t.Fatal("empty rect must have zero area and perimeter")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{1, 1}}
+	tests := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{Point{0.5, 0.5}, Point{2, 2}}, true},
+		{Rect{Point{1, 1}, Point{2, 2}}, true}, // touching corner
+		{Rect{Point{1.1, 0}, Point{2, 1}}, false},
+		{Rect{Point{0, 1.1}, Point{1, 2}}, false},
+		{Rect{Point{0.25, 0.25}, Point{0.75, 0.75}}, true}, // contained
+	}
+	for _, tc := range tests {
+		if got := a.Intersects(tc.b); got != tc.want {
+			t.Errorf("Intersects(%v) = %v, want %v", tc.b, got, tc.want)
+		}
+		if got := tc.b.Intersects(a); got != tc.want {
+			t.Errorf("symmetric Intersects(%v) = %v, want %v", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := Rect{Point{0.25, 0.25}, Point{0.75, 0.75}}
+	// Point inside: mindist 0.
+	if d := r.MinDist(Point{0.5, 0.5}); d != 0 {
+		t.Errorf("MinDist inside = %v", d)
+	}
+	// Point left of rect.
+	if d := r.MinDist(Point{0, 0.5}); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("MinDist left = %v, want 0.25", d)
+	}
+	// Diagonal.
+	if d := r.MinDist(Point{0, 0}); math.Abs(d-math.Hypot(0.25, 0.25)) > 1e-12 {
+		t.Errorf("MinDist diag = %v", d)
+	}
+	// MaxDist from corner.
+	if d := r.MaxDist(Point{0, 0}); math.Abs(d-math.Hypot(0.75, 0.75)) > 1e-12 {
+		t.Errorf("MaxDist = %v", d)
+	}
+}
+
+// MinDist must lower-bound the distance to every point inside the rect, and
+// MaxDist must upper-bound it — the correctness contract the R-tree pruning
+// relies on.
+func TestMinMaxDistBoundProperty(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by, ix, iy float64) bool {
+		p := Point{clamp01(px), clamp01(py)}
+		a := Point{clamp01(ax), clamp01(ay)}
+		b := Point{clamp01(bx), clamp01(by)}
+		r := RectOf(a).Extend(b)
+		// Interior point via interpolation.
+		q := Point{
+			r.Min.X + clamp01(ix)*(r.Max.X-r.Min.X),
+			r.Min.Y + clamp01(iy)*(r.Max.Y-r.Min.Y),
+		}
+		d := p.Dist(q)
+		return r.MinDist(p) <= d+1e-9 && r.MaxDist(p) >= d-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{0.2, 0.2}}
+	b := Rect{Point{0.5, 0}, Point{0.7, 0.2}}
+	if d := RectMinDist(a, b); math.Abs(d-0.3) > 1e-12 {
+		t.Errorf("RectMinDist = %v, want 0.3", d)
+	}
+	c := Rect{Point{0.1, 0.1}, Point{0.6, 0.6}}
+	if d := RectMinDist(a, c); d != 0 {
+		t.Errorf("overlapping RectMinDist = %v, want 0", d)
+	}
+	dgl := Rect{Point{0.5, 0.5}, Point{0.9, 0.9}}
+	if d := RectMinDist(a, dgl); math.Abs(d-math.Hypot(0.3, 0.3)) > 1e-12 {
+		t.Errorf("diagonal RectMinDist = %v", d)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(0, 16) != 0 {
+		t.Error("Quantize(0) != 0")
+	}
+	if Quantize(1, 16) != 65535 {
+		t.Error("Quantize(1) != 65535")
+	}
+	if Quantize(-5, 16) != 0 || Quantize(7, 16) != 65535 {
+		t.Error("Quantize must clamp out-of-range values")
+	}
+	if Quantize(0.5, 1) != 1 && Quantize(0.5, 1) != 0 {
+		t.Error("Quantize(0.5,1) out of range")
+	}
+	// Monotonicity.
+	prev := uint32(0)
+	for v := 0.0; v <= 1.0; v += 0.001 {
+		q := Quantize(v, 16)
+		if q < prev {
+			t.Fatalf("Quantize not monotone at %v", v)
+		}
+		prev = q
+	}
+}
+
+func TestRectCenterAreaPerimeter(t *testing.T) {
+	r := Rect{Point{0.1, 0.2}, Point{0.5, 0.4}}
+	if c := r.Center(); math.Abs(c.X-0.3) > 1e-12 || math.Abs(c.Y-0.3) > 1e-12 {
+		t.Errorf("Center = %v", c)
+	}
+	if a := r.Area(); math.Abs(a-0.08) > 1e-12 {
+		t.Errorf("Area = %v", a)
+	}
+	if p := r.Perimeter(); math.Abs(p-0.6) > 1e-12 {
+		t.Errorf("Perimeter = %v", p)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{Point{0, 0}, Point{1, 1}}
+	inner := Rect{Point{0.2, 0.2}, Point{0.8, 0.8}}
+	if !outer.ContainsRect(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsRect(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("rect should contain itself")
+	}
+}

@@ -1,0 +1,139 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeHalfPlaneLeftSide(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	h := EdgeHalfPlane(a, b)
+	if !h.Contains(Point{0.5, 0.5}) {
+		t.Error("point above edge (left of a→b) must be inside")
+	}
+	if h.Contains(Point{0.5, -0.5}) {
+		t.Error("point below edge must be outside")
+	}
+	if !h.Contains(Point{0.5, 0}) {
+		t.Error("boundary must be inclusive")
+	}
+}
+
+// The interior of a CCW convex polygon equals the intersection of its edge
+// half-planes.
+func TestEdgeHalfPlaneMatchesContains(t *testing.T) {
+	pg := Polygon{Vertices: []Point{{0.2, 0.2}, {0.8, 0.3}, {0.7, 0.8}, {0.3, 0.7}}}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		inAll := true
+		n := len(pg.Vertices)
+		for j := 0; j < n; j++ {
+			if !EdgeHalfPlane(pg.Vertices[j], pg.Vertices[(j+1)%n]).Contains(p) {
+				inAll = false
+				break
+			}
+		}
+		if inAll != pg.Contains(p) {
+			t.Fatalf("half-plane membership %v disagrees with Contains for %v", inAll, p)
+		}
+	}
+}
+
+func TestIntersectConvexSquares(t *testing.T) {
+	a := NewBox(Rect{Point{0, 0}, Point{0.6, 0.6}})
+	b := NewBox(Rect{Point{0.4, 0.4}, Point{1, 1}})
+	got := a.IntersectConvex(b)
+	if got.IsEmpty() {
+		t.Fatal("overlapping squares must intersect")
+	}
+	if area := got.Area(); math.Abs(area-0.04) > 1e-9 {
+		t.Errorf("intersection area = %v, want 0.04", area)
+	}
+	bounds := got.Bounds()
+	want := Rect{Point{0.4, 0.4}, Point{0.6, 0.6}}
+	if math.Abs(bounds.Min.X-want.Min.X) > 1e-9 || math.Abs(bounds.Max.Y-want.Max.Y) > 1e-9 {
+		t.Errorf("bounds = %v, want %v", bounds, want)
+	}
+}
+
+func TestIntersectConvexDisjoint(t *testing.T) {
+	a := NewBox(Rect{Point{0, 0}, Point{0.3, 0.3}})
+	b := NewBox(Rect{Point{0.5, 0.5}, Point{1, 1}})
+	if got := a.IntersectConvex(b); !got.IsEmpty() {
+		t.Errorf("disjoint squares must have empty intersection, got %v", got.Vertices)
+	}
+	if got := (Polygon{}).IntersectConvex(a); !got.IsEmpty() {
+		t.Error("empty ∩ anything must be empty")
+	}
+	if got := a.IntersectConvex(Polygon{}); !got.IsEmpty() {
+		t.Error("anything ∩ empty must be empty")
+	}
+}
+
+// Property: a point is in the intersection iff it is in both polygons.
+func TestIntersectConvexMembershipProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewBox(randRect(rng))
+		b := NewBox(randRect(rng))
+		inter := a.IntersectConvex(b)
+		for i := 0; i < 50; i++ {
+			p := Point{rng.Float64(), rng.Float64()}
+			want := a.Contains(p) && b.Contains(p)
+			got := inter.Contains(p)
+			// Allow boundary jitter: skip points within eps of any edge.
+			if want != got {
+				if nearBoundary(a, p) || nearBoundary(b, p) {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	a := Point{rng.Float64(), rng.Float64()}
+	b := Point{rng.Float64(), rng.Float64()}
+	r := RectOf(a).Extend(b)
+	// Avoid degenerate slivers.
+	if r.Max.X-r.Min.X < 0.05 {
+		r.Max.X = r.Min.X + 0.05
+	}
+	if r.Max.Y-r.Min.Y < 0.05 {
+		r.Max.Y = r.Min.Y + 0.05
+	}
+	return r
+}
+
+func nearBoundary(pg Polygon, p Point) bool {
+	n := len(pg.Vertices)
+	for i := 0; i < n; i++ {
+		a, b := pg.Vertices[i], pg.Vertices[(i+1)%n]
+		h := EdgeHalfPlane(a, b)
+		if math.Abs(h.Eval(p)) < 1e-6 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIntersectConvexCommutesOnArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		a := NewBox(randRect(rng))
+		b := NewBox(randRect(rng))
+		ab := a.IntersectConvex(b).Area()
+		ba := b.IntersectConvex(a).Area()
+		if math.Abs(ab-ba) > 1e-9 {
+			t.Fatalf("areas differ: %v vs %v", ab, ba)
+		}
+	}
+}

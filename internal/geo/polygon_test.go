@@ -1,0 +1,203 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectorContains(t *testing.T) {
+	a, b := Point{0.2, 0.5}, Point{0.8, 0.5}
+	h := Bisector(a, b)
+	if !h.Contains(a) {
+		t.Error("bisector must contain its own site")
+	}
+	if h.Contains(Point{0.9, 0.5}) {
+		t.Error("bisector must exclude points closer to b")
+	}
+	// Midpoint is on the boundary (inclusive).
+	if !h.Contains(a.Mid(b)) {
+		t.Error("midpoint should be boundary-inclusive")
+	}
+}
+
+// Property: q is in Bisector(a,b) iff dist(q,a) ≤ dist(q,b) (up to eps).
+func TestBisectorDefinitionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, qx, qy float64) bool {
+		a := Point{clamp01(ax), clamp01(ay)}
+		b := Point{clamp01(bx), clamp01(by)}
+		q := Point{clamp01(qx), clamp01(qy)}
+		if a == b {
+			return true
+		}
+		in := Bisector(a, b).Contains(q)
+		closer := q.Dist2(a) <= q.Dist2(b)+1e-9
+		if in && !closer {
+			return false
+		}
+		farther := q.Dist2(a) >= q.Dist2(b)-1e-9
+		if !in && !farther {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipUnitSquare(t *testing.T) {
+	sq := UnitSquare()
+	// Clip with the half-plane x ≤ 0.5.
+	h := HalfPlane{A: 1, B: 0, C: 0.5}
+	half := sq.Clip(h)
+	if half.IsEmpty() {
+		t.Fatal("clip should not be empty")
+	}
+	if got := half.Area(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("clipped area = %v, want 0.5", got)
+	}
+	if !half.Contains(Point{0.25, 0.5}) || half.Contains(Point{0.75, 0.5}) {
+		t.Error("wrong side kept after clip")
+	}
+}
+
+func TestClipToEmpty(t *testing.T) {
+	sq := UnitSquare()
+	// x ≤ −1 excludes the whole square.
+	h := HalfPlane{A: 1, B: 0, C: -1}
+	if got := sq.Clip(h); !got.IsEmpty() {
+		t.Errorf("expected empty polygon, got %v vertices", len(got.Vertices))
+	}
+	// Clipping an empty polygon stays empty.
+	if got := (Polygon{}).Clip(h); !got.IsEmpty() {
+		t.Error("clip of empty polygon must remain empty")
+	}
+}
+
+func TestRepeatedClipsShrinkArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pg := UnitSquare()
+	site := Point{0.5, 0.5}
+	prev := pg.Area()
+	for i := 0; i < 50; i++ {
+		other := Point{rng.Float64(), rng.Float64()}
+		if other == site {
+			continue
+		}
+		pg = pg.Clip(Bisector(site, other))
+		a := pg.Area()
+		if a > prev+1e-9 {
+			t.Fatalf("area grew after clip: %v -> %v", prev, a)
+		}
+		prev = a
+		if !pg.IsEmpty() && !pg.Contains(site) {
+			t.Fatal("site must stay inside its own Voronoi cell")
+		}
+	}
+	if pg.IsEmpty() {
+		t.Fatal("cell of an interior site should not be empty")
+	}
+}
+
+// Property: after clipping the unit square by bisectors of `site` versus a
+// few random other sites, every vertex of the result is at least as close to
+// site as to each other site — i.e. the polygon is inside the Voronoi cell.
+func TestClipVoronoiCellProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		site := Point{rng.Float64(), rng.Float64()}
+		pg := UnitSquare()
+		others := make([]Point, 0, 8)
+		for i := 0; i < 8; i++ {
+			o := Point{rng.Float64(), rng.Float64()}
+			if o == site {
+				continue
+			}
+			others = append(others, o)
+			pg = pg.Clip(Bisector(site, o))
+		}
+		for _, v := range pg.Vertices {
+			for _, o := range others {
+				if v.Dist2(site) > v.Dist2(o)+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := UnitSquare()
+	if !sq.Contains(Point{0.5, 0.5}) {
+		t.Error("center must be inside")
+	}
+	if !sq.Contains(Point{0, 0}) {
+		t.Error("corner must be boundary-inclusive")
+	}
+	if sq.Contains(Point{1.1, 0.5}) {
+		t.Error("outside point must be excluded")
+	}
+	if (Polygon{}).Contains(Point{0.5, 0.5}) {
+		t.Error("empty polygon contains nothing")
+	}
+}
+
+func TestPolygonBoundsAndMaxDist(t *testing.T) {
+	sq := UnitSquare()
+	b := sq.Bounds()
+	if b.Min != (Point{0, 0}) || b.Max != (Point{1, 1}) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if d := sq.MaxDist(Point{0, 0}); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Errorf("MaxDist = %v, want sqrt(2)", d)
+	}
+	if !(Polygon{}).Bounds().IsEmpty() {
+		t.Error("empty polygon bounds must be empty")
+	}
+}
+
+func TestNewBoxRoundTrip(t *testing.T) {
+	r := Rect{Point{0.1, 0.2}, Point{0.6, 0.9}}
+	pg := NewBox(r)
+	if got := pg.Bounds(); got != r {
+		t.Errorf("NewBox bounds = %v, want %v", got, r)
+	}
+	if math.Abs(pg.Area()-r.Area()) > 1e-12 {
+		t.Errorf("NewBox area mismatch")
+	}
+}
+
+func TestIntersectsRect(t *testing.T) {
+	tri := Polygon{Vertices: []Point{{0.4, 0.4}, {0.6, 0.4}, {0.5, 0.6}}}
+	tests := []struct {
+		r    Rect
+		want bool
+	}{
+		{Rect{Point{0, 0}, Point{1, 1}}, true},           // rect contains polygon
+		{Rect{Point{0.45, 0.45}, Point{0.5, 0.5}}, true}, // rect inside polygon
+		{Rect{Point{0.7, 0.7}, Point{0.9, 0.9}}, false},  // disjoint
+		{Rect{Point{0.55, 0.3}, Point{0.9, 0.45}}, true}, // edge crossing
+		{Rect{Point{0, 0}, Point{0.4, 0.4}}, true},       // touching corner
+	}
+	for i, tc := range tests {
+		if got := tri.IntersectsRect(tc.r); got != tc.want {
+			t.Errorf("case %d: IntersectsRect(%v) = %v, want %v", i, tc.r, got, tc.want)
+		}
+	}
+	if (Polygon{}).IntersectsRect(Rect{Point{0, 0}, Point{1, 1}}) {
+		t.Error("empty polygon intersects nothing")
+	}
+}
+
+func TestPolygonAreaTriangle(t *testing.T) {
+	tri := Polygon{Vertices: []Point{{0, 0}, {1, 0}, {0, 1}}}
+	if a := tri.Area(); math.Abs(a-0.5) > 1e-12 {
+		t.Errorf("triangle area = %v, want 0.5", a)
+	}
+}

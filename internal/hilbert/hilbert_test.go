@@ -1,0 +1,126 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The 2-D curve of order b must be a bijection [0,2^b)² ↔ [0, 4^b).
+func TestEncode2DBijection(t *testing.T) {
+	const bits = 4
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<bits; x++ {
+		for y := uint32(0); y < 1<<bits; y++ {
+			h := Encode2D(x, y, bits)
+			if h >= 1<<(2*bits) {
+				t.Fatalf("index %d out of range", h)
+			}
+			if seen[h] {
+				t.Fatalf("duplicate index %d at (%d,%d)", h, x, y)
+			}
+			seen[h] = true
+		}
+	}
+	if len(seen) != 1<<(2*bits) {
+		t.Fatalf("not a bijection: %d cells", len(seen))
+	}
+}
+
+// Consecutive Hilbert indexes must be grid neighbors (the locality property
+// bulk loading relies on).
+func TestEncode2DAdjacency(t *testing.T) {
+	const bits = 5
+	coords := make([]uint32, 2)
+	var px, py uint32
+	for h := uint64(0); h < 1<<(2*bits); h++ {
+		Decode(h, coords, bits)
+		if h > 0 {
+			dx := int(coords[0]) - int(px)
+			dy := int(coords[1]) - int(py)
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("step %d not unit: (%d,%d)->(%d,%d)", h, px, py, coords[0], coords[1])
+			}
+		}
+		px, py = coords[0], coords[1]
+	}
+}
+
+// Known fixed points of the order-1 2-D curve: (0,0)=0 and the curve ends
+// adjacent to the start.
+func TestEncode2DOrigin(t *testing.T) {
+	if got := Encode2D(0, 0, 8); got != 0 {
+		t.Errorf("Encode2D(0,0) = %d, want 0", got)
+	}
+}
+
+// Encode and Decode must be inverses in 4-D (the SRT mapped space).
+func TestEncodeDecodeRoundTrip4D(t *testing.T) {
+	f := func(a, b, c, d uint32) bool {
+		const bits = 8
+		mask := uint32(1<<bits - 1)
+		in := []uint32{a & mask, b & mask, c & mask, d & mask}
+		h := Encode(in, bits)
+		out := make([]uint32, 4)
+		Decode(h, out, bits)
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// 4-D adjacency: consecutive indexes differ by one unit step in one dim.
+func TestEncode4DAdjacency(t *testing.T) {
+	const bits = 2
+	coords := make([]uint32, 4)
+	prev := make([]uint32, 4)
+	for h := uint64(0); h < 1<<(4*bits); h++ {
+		Decode(h, coords, bits)
+		if h > 0 {
+			sum := 0
+			for i := range coords {
+				d := int(coords[i]) - int(prev[i])
+				sum += d * d
+			}
+			if sum != 1 {
+				t.Fatalf("step %d not unit: %v -> %v", h, prev, coords)
+			}
+		}
+		copy(prev, coords)
+	}
+}
+
+func TestEncode4DDistinct(t *testing.T) {
+	const bits = 3
+	seen := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := uint32(rng.Intn(8))
+		y := uint32(rng.Intn(8))
+		s := uint32(rng.Intn(8))
+		k := uint32(rng.Intn(8))
+		h := Encode4D(x, y, s, k, bits)
+		key := uint64(x)<<24 | uint64(y)<<16 | uint64(s)<<8 | uint64(k)
+		if prev, ok := firstSeen[key]; ok && prev != h {
+			t.Fatal("Encode4D not deterministic")
+		}
+		firstSeen[key] = h
+		seen[h] = true
+	}
+	_ = seen
+}
+
+var firstSeen = map[uint64]uint64{}
+
+func TestEncodeZeroDims(t *testing.T) {
+	if got := Encode(nil, 8); got != 0 {
+		t.Errorf("Encode(nil) = %d", got)
+	}
+	Decode(0, nil, 8) // must not panic
+}

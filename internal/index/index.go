@@ -1,0 +1,313 @@
+// Package index builds the two feature-object indexes compared in the
+// paper — the SRT-index (Section 4) and the modified IR²-tree (Section 8)
+// — plus the plain R-tree over data objects, all on top of the paged
+// R-tree of internal/rtree.
+//
+// Both feature indexes keep, in every entry, the augmentation of Section
+// 4.1: the maximum non-spatial score e.s of the subtree and the keyword
+// summary e.W of all enclosed feature objects, yielding the query-time
+// upper bound
+//
+//	ŝ(e) = (1−λ)·e.s + λ·|e.W ∩ W| / |W|  ≥  s(t) for every t below e.
+//
+// They differ only in how leaf entries are clustered at build time:
+//
+//   - SRT packs features in 4-D Hilbert order of {x, y, t.s, H(t.W)}, so
+//     nodes group features that are close in space, in quality AND in
+//     textual description — which tightens ŝ(e).
+//   - IR² packs features in 2-D Hilbert order of {x, y} only (the
+//     spatial-only clustering of a classic IR²-tree whose nodes we augment
+//     with the maximum enclosed score, per Section 8).
+package index
+
+import (
+	"fmt"
+
+	"stpq/internal/geo"
+	"stpq/internal/hilbert"
+	"stpq/internal/kwset"
+	"stpq/internal/rtree"
+	"stpq/internal/storage"
+)
+
+// Kind selects the feature index construction.
+type Kind int
+
+const (
+	// SRT is the paper's SRT-index (4-D Hilbert clustering).
+	SRT Kind = iota
+	// IR2 is the modified IR²-tree baseline (spatial clustering).
+	IR2
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SRT:
+		return "SRT"
+	case IR2:
+		return "IR2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Feature is one feature object t ∈ F_i: a location, a non-spatial score
+// t.s ∈ [0,1] and a keyword set t.W.
+type Feature struct {
+	ID       int64
+	Location geo.Point
+	Score    float64
+	Keywords kwset.Set
+}
+
+// Object is one data object p ∈ O.
+type Object struct {
+	ID       int64
+	Location geo.Point
+}
+
+// Options configures index construction.
+type Options struct {
+	// Kind selects SRT or IR2 clustering (feature indexes only).
+	Kind Kind
+	// VocabWidth is the number of distinct indexed keywords w.
+	VocabWidth int
+	// PageSize is the disk page size (default storage.DefaultPageSize).
+	PageSize int
+	// BufferPages is the LRU buffer-pool capacity in pages.
+	BufferPages int
+	// CurveBits is the per-dimension resolution of the bulk-load Hilbert
+	// sort (default 16).
+	CurveBits uint
+	// SignatureBits stores hashed keyword signatures of this width in the
+	// tree instead of exact keyword bitmaps (classic IR²-tree signature
+	// files). 0 keeps exact bitmaps. Signature mode verifies candidate
+	// features against a paged record file, adding the false-positive
+	// I/O a real signature index pays; results are unchanged.
+	SignatureBits int
+	// Disk optionally supplies a backing store (default in-memory).
+	Disk storage.Disk
+}
+
+// withDefaults normalizes zero-valued options.
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = storage.DefaultPageSize
+	}
+	if o.CurveBits == 0 || o.CurveBits > 16 {
+		o.CurveBits = 16
+	}
+	return o
+}
+
+// FeatureIndex is a spatio-textual index over one feature set F_i. The
+// query algorithms traverse it through Tree, lower queries with Prepare,
+// compute bounds with EntryBound, prune with EntryRelevant and obtain
+// exact feature scores with ResolveLeaf.
+type FeatureIndex struct {
+	tree    *rtree.Tree
+	kind    Kind
+	opts    Options
+	sigBits int
+	records *recordFile // exact keywords, signature mode only
+}
+
+// BuildFeatureIndex bulk-loads the features into a fresh index of the
+// given kind.
+func BuildFeatureIndex(features []Feature, opts Options) (*FeatureIndex, error) {
+	opts = opts.withDefaults()
+	if opts.VocabWidth <= 0 {
+		return nil, fmt.Errorf("index: VocabWidth must be positive")
+	}
+	treeWidth := opts.VocabWidth
+	if opts.SignatureBits > 0 {
+		treeWidth = opts.SignatureBits
+	}
+	tree, err := rtree.New(rtree.Config{
+		PageSize:     opts.PageSize,
+		KeywordWidth: treeWidth,
+		WithScore:    true,
+		BufferPages:  opts.BufferPages,
+		Disk:         opts.Disk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := &FeatureIndex{tree: tree, kind: opts.Kind, opts: opts, sigBits: opts.SignatureBits}
+	if idx.sigBits > 0 {
+		idx.records = newRecordFile(opts.VocabWidth, opts.PageSize, opts.BufferPages)
+		for _, f := range features {
+			if err := idx.records.put(f.ID, f.Keywords); err != nil {
+				return nil, err
+			}
+		}
+	}
+	items := make([]rtree.Item, len(features))
+	for i, f := range features {
+		items[i] = rtree.Item{ID: f.ID, Location: f.Location, Score: f.Score, Keywords: idx.treeKeywords(f.Keywords)}
+	}
+	if err := tree.BulkLoad(items, idx.sortKey()); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// treeKeywords lowers a feature's exact keyword set to its tree-side form
+// (hashed signature in signature mode).
+func (x *FeatureIndex) treeKeywords(exact kwset.Set) kwset.Set {
+	if x.sigBits == 0 {
+		return exact
+	}
+	return hashSet(exact, x.sigBits)
+}
+
+// sortKey returns the bulk-load ordering for the index kind.
+func (x *FeatureIndex) sortKey() rtree.SortKey {
+	bits := x.opts.CurveBits
+	switch x.kind {
+	case SRT:
+		// In signature mode the item keywords are already hashed; the
+		// Hilbert keyword dimension then clusters by signature.
+		w := x.opts.VocabWidth
+		if x.sigBits > 0 {
+			w = x.sigBits
+		}
+		return func(it rtree.Item) uint64 {
+			h := hilbert.EncodeKeywords(it.Keywords, w)
+			return hilbert.Encode4D(
+				geo.Quantize(it.Location.X, bits),
+				geo.Quantize(it.Location.Y, bits),
+				geo.Quantize(it.Score, bits),
+				h.Scaled(bits),
+				bits,
+			)
+		}
+	default: // IR2
+		return func(it rtree.Item) uint64 {
+			return hilbert.Encode2D(
+				geo.Quantize(it.Location.X, bits),
+				geo.Quantize(it.Location.Y, bits),
+				bits,
+			)
+		}
+	}
+}
+
+// Insert adds one feature incrementally. Node summaries along the
+// insertion path absorb the feature's score and keywords (the node-update
+// rule of Section 4.2).
+func (x *FeatureIndex) Insert(f Feature) error {
+	if x.sigBits > 0 {
+		if err := x.records.put(f.ID, f.Keywords); err != nil {
+			return err
+		}
+	}
+	return x.tree.Insert(rtree.Item{ID: f.ID, Location: f.Location, Score: f.Score, Keywords: x.treeKeywords(f.Keywords)})
+}
+
+// Tree exposes the underlying paged R-tree for traversal.
+func (x *FeatureIndex) Tree() *rtree.Tree { return x.tree }
+
+// Kind returns the index construction kind.
+func (x *FeatureIndex) Kind() Kind { return x.kind }
+
+// Len returns the number of indexed features.
+func (x *FeatureIndex) Len() int { return x.tree.Len() }
+
+// Stats returns the accumulated I/O counters of the index's buffer pool,
+// including record-file verification reads in signature mode.
+func (x *FeatureIndex) Stats() storage.Stats {
+	s := x.tree.Pool().Stats()
+	if x.records != nil {
+		s.Add(x.records.stats())
+	}
+	return s
+}
+
+// ResetStats zeroes the I/O counters.
+func (x *FeatureIndex) ResetStats() {
+	x.tree.Pool().ResetStats()
+	if x.records != nil {
+		x.records.pool.ResetStats()
+	}
+}
+
+// QueryKeywords is the per-feature-set textual part of a query: the
+// keyword set W_i, the smoothing parameter λ shared by all sets, and the
+// similarity measure (zero value = Jaccard, the paper's default).
+type QueryKeywords struct {
+	Set    kwset.Set
+	Lambda float64
+	Sim    Similarity
+}
+
+// Score returns the preference score s(t) of a leaf entry under Definition
+// 1: s(t) = (1−λ)·t.s + λ·sim(t.W, W).
+func Score(e rtree.Entry, q QueryKeywords) float64 {
+	return (1-q.Lambda)*e.Score + q.Lambda*q.Sim.Sim(e.Keywords, q.Set)
+}
+
+// Bound returns the upper bound ŝ(e) of Section 4.2 for an entry: the
+// exact score for leaf entries, and (1−λ)·e.s + λ·NodeBound(e.W, W) for
+// internal entries (|e.W∩W|/|W| under Jaccard). For every feature t under
+// e, Bound(e) ≥ s(t).
+func Bound(e rtree.Entry, q QueryKeywords) float64 {
+	if e.Leaf {
+		return Score(e, q)
+	}
+	return (1-q.Lambda)*e.Score + q.Lambda*q.Sim.NodeBound(e.Keywords, q.Set)
+}
+
+// Relevant reports whether the entry can contain a feature with positive
+// textual similarity to W — the sim(t, W) > 0 pruning test.
+func Relevant(e rtree.Entry, q QueryKeywords) bool {
+	return e.Keywords.Intersects(q.Set)
+}
+
+// ObjectIndex is the plain R-tree over the data objects O.
+type ObjectIndex struct {
+	tree *rtree.Tree
+}
+
+// BuildObjectIndex bulk-loads the data objects in 2-D Hilbert order.
+func BuildObjectIndex(objects []Object, opts Options) (*ObjectIndex, error) {
+	opts = opts.withDefaults()
+	tree, err := rtree.New(rtree.Config{
+		PageSize:    opts.PageSize,
+		BufferPages: opts.BufferPages,
+		Disk:        opts.Disk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	items := make([]rtree.Item, len(objects))
+	for i, o := range objects {
+		items[i] = rtree.Item{ID: o.ID, Location: o.Location}
+	}
+	bits := opts.CurveBits
+	err = tree.BulkLoad(items, func(it rtree.Item) uint64 {
+		return hilbert.Encode2D(geo.Quantize(it.Location.X, bits), geo.Quantize(it.Location.Y, bits), bits)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectIndex{tree: tree}, nil
+}
+
+// Insert adds one data object incrementally.
+func (x *ObjectIndex) Insert(o Object) error {
+	return x.tree.Insert(rtree.Item{ID: o.ID, Location: o.Location})
+}
+
+// Tree exposes the underlying paged R-tree.
+func (x *ObjectIndex) Tree() *rtree.Tree { return x.tree }
+
+// Len returns the number of indexed objects.
+func (x *ObjectIndex) Len() int { return x.tree.Len() }
+
+// Stats returns the accumulated I/O counters.
+func (x *ObjectIndex) Stats() storage.Stats { return x.tree.Pool().Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (x *ObjectIndex) ResetStats() { x.tree.Pool().ResetStats() }

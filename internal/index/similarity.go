@@ -1,0 +1,97 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"stpq/internal/kwset"
+)
+
+// Similarity selects the textual similarity function sim(t, W) of
+// Definition 1. The paper's experiments use Jaccard but define sim()
+// generically; each measure here comes with a sound node-level bound so
+// the ŝ(e) ≥ s(t) contract of Section 4.1 — and with it every algorithm —
+// holds unchanged.
+//
+// All measures return 0 when the sets share no keyword, so the
+// sim(t, W) > 0 relevance filter is measure-independent.
+type Similarity int
+
+const (
+	// Jaccard is |t.W ∩ W| / |t.W ∪ W| (the paper's choice).
+	Jaccard Similarity = iota
+	// Dice is 2|t.W ∩ W| / (|t.W| + |W|).
+	Dice
+	// Cosine is |t.W ∩ W| / √(|t.W|·|W|) (set cosine).
+	Cosine
+	// Overlap is |t.W ∩ W| / min(|t.W|, |W|).
+	Overlap
+)
+
+// String implements fmt.Stringer.
+func (s Similarity) String() string {
+	switch s {
+	case Jaccard:
+		return "jaccard"
+	case Dice:
+		return "dice"
+	case Cosine:
+		return "cosine"
+	case Overlap:
+		return "overlap"
+	default:
+		return fmt.Sprintf("Similarity(%d)", int(s))
+	}
+}
+
+// Sim computes the similarity between a feature's keywords and the query
+// keywords. Empty inputs yield 0.
+func (s Similarity) Sim(t, w kwset.Set) float64 {
+	inter := t.IntersectCount(w)
+	if inter == 0 {
+		return 0
+	}
+	switch s {
+	case Dice:
+		return 2 * float64(inter) / float64(t.Count()+w.Count())
+	case Cosine:
+		return float64(inter) / math.Sqrt(float64(t.Count())*float64(w.Count()))
+	case Overlap:
+		m := t.Count()
+		if wc := w.Count(); wc < m {
+			m = wc
+		}
+		return float64(inter) / float64(m)
+	default: // Jaccard
+		return float64(inter) / float64(t.UnionCount(w))
+	}
+}
+
+// NodeBound returns an upper bound on Sim(t, w) over every feature t
+// whose keywords are contained in the node summary eW. Derivations (with
+// i = |eW ∩ w| ≥ |t.W ∩ w| and |t.W| ≥ 1):
+//
+//	Jaccard: |t∩w|/|t∪w| ≤ i/|w|
+//	Dice:    2|t∩w|/(|t|+|w|) ≤ 2i/(1+|w|), capped at 1
+//	Cosine:  |t∩w|/√(|t||w|) ≤ √(|t∩w|/|w|) ≤ √(i/|w|), capped at 1
+//	Overlap: ≤ 1 whenever i ≥ 1
+func (s Similarity) NodeBound(eW, w kwset.Set) float64 {
+	wc := w.Count()
+	if wc == 0 {
+		return 0
+	}
+	inter := eW.IntersectCount(w)
+	if inter == 0 {
+		return 0
+	}
+	switch s {
+	case Dice:
+		return math.Min(1, 2*float64(inter)/float64(1+wc))
+	case Cosine:
+		return math.Min(1, math.Sqrt(float64(inter)/float64(wc)))
+	case Overlap:
+		return 1
+	default: // Jaccard
+		return float64(inter) / float64(wc)
+	}
+}

@@ -1,0 +1,112 @@
+// Package invindex provides an inverted keyword index over feature
+// objects: for each keyword id, the posting list of features described by
+// it, ordered by non-spatial score. It complements the hierarchical
+// spatio-textual indexes with direct keyword-based access — selectivity
+// estimation for query planning and keyword statistics surfaced through
+// the public API — and serves as an independent oracle for textual
+// relevance in tests.
+package invindex
+
+import (
+	"sort"
+
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+)
+
+// Posting is one entry of a keyword's posting list.
+type Posting struct {
+	// FeatureID identifies the feature object.
+	FeatureID int64
+	// Score is the feature's non-spatial score, used as the posting
+	// order (descending) so the best features per keyword come first.
+	Score float64
+}
+
+// Index is an immutable inverted index over one feature set.
+type Index struct {
+	width    int
+	postings [][]Posting
+	features int
+}
+
+// Build constructs the index from a feature set over a vocabulary of the
+// given width. Keyword ids outside [0, width) are ignored.
+func Build(features []index.Feature, width int) *Index {
+	ix := &Index{width: width, postings: make([][]Posting, width), features: len(features)}
+	for _, f := range features {
+		f.Keywords.ForEach(func(id int) {
+			if id < width {
+				ix.postings[id] = append(ix.postings[id], Posting{FeatureID: f.ID, Score: f.Score})
+			}
+		})
+	}
+	for _, ps := range ix.postings {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Score != ps[j].Score {
+				return ps[i].Score > ps[j].Score
+			}
+			return ps[i].FeatureID < ps[j].FeatureID
+		})
+	}
+	return ix
+}
+
+// Width returns the vocabulary width.
+func (ix *Index) Width() int { return ix.width }
+
+// NumFeatures returns the number of indexed features.
+func (ix *Index) NumFeatures() int { return ix.features }
+
+// Postings returns the posting list of a keyword in descending score
+// order. The returned slice is owned by the index and must not be
+// modified.
+func (ix *Index) Postings(keyword int) []Posting {
+	if keyword < 0 || keyword >= ix.width {
+		return nil
+	}
+	return ix.postings[keyword]
+}
+
+// DocFrequency returns the number of features containing the keyword.
+func (ix *Index) DocFrequency(keyword int) int { return len(ix.Postings(keyword)) }
+
+// Selectivity returns the fraction of features relevant to the query
+// keyword set — i.e. with at least one overlapping keyword. This is the
+// fraction of each feature set the per-set streams of STPS can touch in
+// the worst case, a direct query-cost predictor.
+func (ix *Index) Selectivity(query kwset.Set) float64 {
+	if ix.features == 0 {
+		return 0
+	}
+	return float64(len(ix.RelevantIDs(query))) / float64(ix.features)
+}
+
+// RelevantIDs returns the distinct ids of features relevant to the query
+// keyword set (the union of the keyword posting lists), in ascending id
+// order.
+func (ix *Index) RelevantIDs(query kwset.Set) []int64 {
+	seen := make(map[int64]bool)
+	query.ForEach(func(id int) {
+		for _, p := range ix.Postings(id) {
+			seen[p.FeatureID] = true
+		}
+	})
+	out := make([]int64, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopScore returns the highest non-spatial score among features containing
+// the keyword, or 0 for an unused keyword. Because posting lists are
+// score-ordered this is O(1).
+func (ix *Index) TopScore(keyword int) float64 {
+	ps := ix.Postings(keyword)
+	if len(ps) == 0 {
+		return 0
+	}
+	return ps[0].Score
+}

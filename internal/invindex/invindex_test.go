@@ -1,0 +1,134 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+)
+
+func mkFeature(id int64, score float64, width int, kws ...int) index.Feature {
+	return index.Feature{
+		ID:       id,
+		Location: geo.Point{X: 0.5, Y: 0.5},
+		Score:    score,
+		Keywords: kwset.SetFromWords(width, kws...),
+	}
+}
+
+func TestBuildAndPostings(t *testing.T) {
+	feats := []index.Feature{
+		mkFeature(1, 0.9, 8, 0, 1),
+		mkFeature(2, 0.5, 8, 1),
+		mkFeature(3, 0.7, 8, 1, 2),
+	}
+	ix := Build(feats, 8)
+	if ix.Width() != 8 || ix.NumFeatures() != 3 {
+		t.Fatalf("shape: width=%d n=%d", ix.Width(), ix.NumFeatures())
+	}
+	ps := ix.Postings(1)
+	if len(ps) != 3 {
+		t.Fatalf("postings(1) = %d", len(ps))
+	}
+	// Ordered by descending score.
+	if ps[0].FeatureID != 1 || ps[1].FeatureID != 3 || ps[2].FeatureID != 2 {
+		t.Errorf("order: %+v", ps)
+	}
+	if ix.DocFrequency(0) != 1 || ix.DocFrequency(2) != 1 || ix.DocFrequency(5) != 0 {
+		t.Error("doc frequencies wrong")
+	}
+	if ix.Postings(-1) != nil || ix.Postings(100) != nil {
+		t.Error("out-of-range keyword must return nil")
+	}
+}
+
+func TestPostingsTieBreakByID(t *testing.T) {
+	feats := []index.Feature{
+		mkFeature(9, 0.5, 4, 0),
+		mkFeature(3, 0.5, 4, 0),
+	}
+	ix := Build(feats, 4)
+	ps := ix.Postings(0)
+	if ps[0].FeatureID != 3 || ps[1].FeatureID != 9 {
+		t.Errorf("tie break: %+v", ps)
+	}
+}
+
+func TestTopScore(t *testing.T) {
+	feats := []index.Feature{
+		mkFeature(1, 0.4, 4, 0),
+		mkFeature(2, 0.8, 4, 0),
+	}
+	ix := Build(feats, 4)
+	if got := ix.TopScore(0); got != 0.8 {
+		t.Errorf("TopScore = %v", got)
+	}
+	if got := ix.TopScore(3); got != 0 {
+		t.Errorf("unused keyword TopScore = %v", got)
+	}
+}
+
+func TestRelevantIDsAndSelectivity(t *testing.T) {
+	feats := []index.Feature{
+		mkFeature(1, 0.9, 8, 0),
+		mkFeature(2, 0.5, 8, 1),
+		mkFeature(3, 0.7, 8, 2),
+		mkFeature(4, 0.6, 8, 0, 1),
+	}
+	ix := Build(feats, 8)
+	q := kwset.SetFromWords(8, 0, 1)
+	ids := ix.RelevantIDs(q)
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 4 {
+		t.Errorf("RelevantIDs = %v", ids)
+	}
+	if got := ix.Selectivity(q); got != 0.75 {
+		t.Errorf("Selectivity = %v", got)
+	}
+	if got := ix.Selectivity(kwset.NewSet(8)); got != 0 {
+		t.Errorf("empty query selectivity = %v", got)
+	}
+	empty := Build(nil, 8)
+	if got := empty.Selectivity(q); got != 0 {
+		t.Errorf("empty index selectivity = %v", got)
+	}
+}
+
+// RelevantIDs must agree with a direct scan using set intersection.
+func TestRelevantIDsMatchesScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const w = 16
+		feats := make([]index.Feature, 60)
+		for i := range feats {
+			kws := kwset.NewSet(w)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				kws.Add(rng.Intn(w))
+			}
+			feats[i] = index.Feature{ID: int64(i), Score: rng.Float64(), Keywords: kws}
+		}
+		ix := Build(feats, w)
+		q := kwset.SetFromWords(w, rng.Intn(w), rng.Intn(w))
+		got := ix.RelevantIDs(q)
+		want := make(map[int64]bool)
+		for _, ft := range feats {
+			if ft.Keywords.Intersects(q) {
+				want[ft.ID] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

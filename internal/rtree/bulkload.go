@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNotEmpty is returned when bulk loading into a non-empty tree.
+var ErrNotEmpty = errors.New("rtree: bulk load requires an empty tree")
+
+// SortKey orders items during bulk loading. The SRT-index supplies a 4-D
+// Hilbert key over {x, y, score, H(keywords)}; the IR²-tree and the plain
+// object R-tree supply a 2-D spatial Hilbert key. Equal keys keep input
+// order (stable sort).
+type SortKey func(Item) uint64
+
+// BulkLoad builds the tree bottom-up from items sorted by key, packing
+// nodes to the configured fill factor — the Hilbert-packing bulk insertion
+// of Kamel & Faloutsos the paper uses (Section 4.2). The tree must be
+// empty.
+func (t *Tree) BulkLoad(items []Item, key SortKey) error {
+	if t.size != 0 {
+		return ErrNotEmpty
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	// Sort by key via an index permutation so each key is computed once.
+	keys := make([]uint64, len(items))
+	for i, it := range items {
+		keys[i] = key(it)
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sorted := make([]Item, len(items))
+	for i, j := range idx {
+		sorted[i] = items[j]
+	}
+
+	leafFill := fill(t.leafCap, t.cfg.FillFactor)
+	innerFill := fill(t.innerCap, t.cfg.FillFactor)
+
+	// Level 0: pack leaf nodes.
+	level := make([]Entry, 0, (len(sorted)+leafFill-1)/leafFill)
+	var lastPage = t.root
+	for start := 0; start < len(sorted); start += leafFill {
+		end := start + leafFill
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		n := &Node{Leaf: true}
+		for _, it := range sorted[start:end] {
+			n.Entries = append(n.Entries, t.entryOf(it))
+		}
+		pid, err := t.writeNode(n)
+		if err != nil {
+			return fmt.Errorf("rtree: bulk load leaf: %w", err)
+		}
+		level = append(level, t.entryAggregate(pid, n))
+		lastPage = pid
+	}
+	height := 1
+
+	// Upper levels: pack internal nodes until a single node remains.
+	for len(level) > 1 {
+		next := make([]Entry, 0, (len(level)+innerFill-1)/innerFill)
+		for start := 0; start < len(level); start += innerFill {
+			end := start + innerFill
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &Node{Leaf: false, Entries: level[start:end]}
+			pid, err := t.writeNode(n)
+			if err != nil {
+				return fmt.Errorf("rtree: bulk load level %d: %w", height, err)
+			}
+			next = append(next, t.entryAggregate(pid, n))
+		}
+		level = next
+		height++
+	}
+
+	if len(level) == 1 {
+		t.root = level[0].Child
+	} else {
+		t.root = lastPage
+	}
+	t.height = height
+	t.size = len(sorted)
+	return nil
+}
+
+// fill converts a capacity and fill factor into a per-node packing count.
+func fill(capacity int, factor float64) int {
+	n := int(float64(capacity) * factor)
+	if n < 2 {
+		n = 2
+	}
+	if n > capacity {
+		n = capacity
+	}
+	return n
+}

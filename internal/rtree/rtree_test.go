@@ -1,0 +1,596 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stpq/internal/geo"
+	"stpq/internal/hilbert"
+	"stpq/internal/kwset"
+	"stpq/internal/storage"
+)
+
+// hilbert2DKey is the spatial bulk-load key used by tests.
+func hilbert2DKey(it Item) uint64 {
+	return hilbert.Encode2D(geo.Quantize(it.Location.X, 16), geo.Quantize(it.Location.Y, 16), 16)
+}
+
+// randomItems generates n items with random locations, scores and keyword
+// sets over a width-w vocabulary.
+func randomItems(rng *rand.Rand, n, w int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		kw := kwset.NewSet(w)
+		if w > 0 {
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				kw.Add(rng.Intn(w))
+			}
+		}
+		items[i] = Item{
+			ID:       int64(i),
+			Location: geo.Point{X: rng.Float64(), Y: rng.Float64()},
+			Score:    rng.Float64(),
+			Keywords: kw,
+		}
+	}
+	return items
+}
+
+func newTestTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewCapacities(t *testing.T) {
+	tr := newTestTree(t, Config{PageSize: 4096, KeywordWidth: 128, WithScore: true})
+	if tr.LeafCapacity() < 10 || tr.InnerCapacity() < 10 {
+		t.Errorf("capacities too small: leaf=%d inner=%d", tr.LeafCapacity(), tr.InnerCapacity())
+	}
+	// A larger vocabulary must reduce fan-out (paper Fig. 7(d) reasoning).
+	tr2 := newTestTree(t, Config{PageSize: 4096, KeywordWidth: 256, WithScore: true})
+	if tr2.LeafCapacity() >= tr.LeafCapacity() {
+		t.Errorf("capacity should drop with keyword width: %d vs %d",
+			tr2.LeafCapacity(), tr.LeafCapacity())
+	}
+}
+
+func TestNewRejectsTinyPages(t *testing.T) {
+	if _, err := New(Config{PageSize: 64, KeywordWidth: 1024, WithScore: true}); err == nil {
+		t.Fatal("expected error for page too small")
+	}
+}
+
+func TestEncodeDecodeNodeRoundTrip(t *testing.T) {
+	tr := newTestTree(t, Config{PageSize: 1024, KeywordWidth: 70, WithScore: true})
+	rng := rand.New(rand.NewSource(1))
+	leaf := &Node{Leaf: true}
+	for i := 0; i < 5; i++ {
+		kw := kwset.NewSet(70)
+		kw.Add(rng.Intn(70))
+		kw.Add(64 + rng.Intn(6))
+		leaf.Entries = append(leaf.Entries, Entry{
+			Rect:     geo.RectOf(geo.Point{X: rng.Float64(), Y: rng.Float64()}),
+			Child:    storage.InvalidPage,
+			ItemID:   int64(1000 + i),
+			Score:    rng.Float64(),
+			Keywords: kw,
+			Leaf:     true,
+		})
+	}
+	buf, err := tr.encodeNode(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad to page size as the disk would.
+	page := make([]byte, 1024)
+	copy(page, buf)
+	got, err := tr.decodeNode(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Leaf != leaf.Leaf || len(got.Entries) != len(leaf.Entries) {
+		t.Fatalf("shape mismatch")
+	}
+	for i := range leaf.Entries {
+		a, b := leaf.Entries[i], got.Entries[i]
+		if a.ItemID != b.ItemID || a.Rect != b.Rect || a.Score != b.Score {
+			t.Errorf("entry %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if !a.Keywords.Equal(b.Keywords) {
+			t.Errorf("entry %d keywords mismatch", i)
+		}
+	}
+
+	inner := &Node{Leaf: false, Entries: []Entry{{
+		Rect:     geo.Rect{Min: geo.Point{X: 0.1, Y: 0.2}, Max: geo.Point{X: 0.5, Y: 0.9}},
+		Child:    7,
+		Score:    0.75,
+		Keywords: kwset.SetFromWords(70, 3, 69),
+	}}}
+	buf, err = tr.encodeNode(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page = make([]byte, 1024)
+	copy(page, buf)
+	got, err = tr.decodeNode(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Leaf || got.Entries[0].Child != 7 || got.Entries[0].Rect != inner.Entries[0].Rect {
+		t.Errorf("internal round trip failed: %+v", got.Entries[0])
+	}
+}
+
+func TestEncodeNodeOverflow(t *testing.T) {
+	tr := newTestTree(t, Config{PageSize: 256})
+	n := &Node{Leaf: true}
+	for i := 0; i <= tr.LeafCapacity(); i++ {
+		n.Entries = append(n.Entries, Entry{Leaf: true})
+	}
+	if _, err := tr.encodeNode(n); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 3000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 64, WithScore: true})
+		items := randomItems(rng, n, 64)
+		if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		all, err := tr.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != n {
+			t.Fatalf("n=%d: All returned %d", n, len(all))
+		}
+		ids := make(map[int64]bool)
+		for _, e := range all {
+			ids[e.ItemID] = true
+		}
+		if len(ids) != n {
+			t.Fatalf("n=%d: duplicate or missing ids", n)
+		}
+	}
+}
+
+func TestBulkLoadRejectsNonEmpty(t *testing.T) {
+	tr := newTestTree(t, Config{PageSize: 512})
+	if err := tr.Insert(Item{ID: 1, Location: geo.Point{X: 0.5, Y: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(randomItems(rand.New(rand.NewSource(1)), 5, 0), hilbert2DKey); err != ErrNotEmpty {
+		t.Fatalf("got %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 32, WithScore: true})
+	items := randomItems(rng, 800, 32)
+	for i, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("expected multi-level tree, height=%d", tr.Height())
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := newTestTree(t, Config{PageSize: 512})
+	items := randomItems(rng, 1500, 0)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		center := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		r := 0.02 + rng.Float64()*0.2
+		want := make(map[int64]bool)
+		for _, it := range items {
+			if it.Location.Dist(center) <= r {
+				want[it.ID] = true
+			}
+		}
+		got := make(map[int64]bool)
+		err := tr.RangeSearch(center, r, func(e Entry) bool {
+			got[e.ItemID] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestRangeSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := newTestTree(t, Config{PageSize: 512})
+	if err := tr.BulkLoad(randomItems(rng, 500, 0), hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err := tr.RangeSearch(geo.Point{X: 0.5, Y: 0.5}, 1.5, func(Entry) bool {
+		seen++
+		return seen < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 {
+		t.Errorf("early stop visited %d", seen)
+	}
+}
+
+func TestSearchRectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := newTestTree(t, Config{PageSize: 512})
+	items := randomItems(rng, 1000, 0)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		a := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		b := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		rect := geo.RectOf(a).Extend(b)
+		want := 0
+		for _, it := range items {
+			if rect.Contains(it.Location) {
+				want++
+			}
+		}
+		got := 0
+		if err := tr.SearchRect(rect, func(Entry) bool { got++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newTestTree(t, Config{PageSize: 512})
+	items := randomItems(rng, 800, 0)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		center := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		k := 1 + rng.Intn(20)
+		got, err := tr.KNearest(center, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Location.Dist(center)
+		}
+		sort.Float64s(dists)
+		if len(got) != k {
+			t.Fatalf("got %d results, want %d", len(got), k)
+		}
+		for i, e := range got {
+			if math.Abs(e.Point().Dist(center)-dists[i]) > 1e-12 {
+				t.Fatalf("trial %d: rank %d dist %v, want %v", trial, i,
+					e.Point().Dist(center), dists[i])
+			}
+		}
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	tr := newTestTree(t, Config{PageSize: 512})
+	got, err := tr.KNearest(geo.Point{X: 0.5, Y: 0.5}, 5)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty tree: %v, %d", err, len(got))
+	}
+	if got, _ := tr.KNearest(geo.Point{}, 0); got != nil {
+		t.Error("k=0 must return nil")
+	}
+	_ = tr.Insert(Item{ID: 1, Location: geo.Point{X: 0.3, Y: 0.3}})
+	got, err = tr.KNearest(geo.Point{X: 0, Y: 0}, 10)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("k>size: %v, %d", err, len(got))
+	}
+}
+
+func TestAscendDistanceMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := newTestTree(t, Config{PageSize: 512})
+	if err := tr.BulkLoad(randomItems(rng, 600, 0), hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	center := geo.Point{X: 0.4, Y: 0.6}
+	prev := -1.0
+	count := 0
+	err := tr.AscendDistance(center, func(e Entry, d float64) bool {
+		if d < prev-1e-12 {
+			t.Fatalf("distance decreased: %v after %v", d, prev)
+		}
+		if math.Abs(e.Point().Dist(center)-d) > 1e-12 {
+			t.Fatal("reported distance mismatch")
+		}
+		prev = d
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 600 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestLeavesCoverAllItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := newTestTree(t, Config{PageSize: 512})
+	items := randomItems(rng, 700, 0)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	batches := 0
+	err := tr.Leaves(func(batch []Entry) bool {
+		batches++
+		if len(batch) == 0 {
+			t.Fatal("empty batch")
+		}
+		for _, e := range batch {
+			seen[e.ItemID] = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 700 {
+		t.Fatalf("leaves covered %d items", len(seen))
+	}
+	if batches < 2 {
+		t.Fatalf("expected multiple leaf batches, got %d", batches)
+	}
+}
+
+func TestSearchPolygonMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := newTestTree(t, Config{PageSize: 512})
+	items := randomItems(rng, 900, 0)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	// A convex pentagon around the center.
+	pg := geo.Polygon{Vertices: []geo.Point{
+		{X: 0.3, Y: 0.2}, {X: 0.7, Y: 0.25}, {X: 0.8, Y: 0.6}, {X: 0.5, Y: 0.85}, {X: 0.2, Y: 0.55},
+	}}
+	want := 0
+	for _, it := range items {
+		if pg.Contains(it.Location) {
+			want++
+		}
+	}
+	got := 0
+	if err := tr.SearchPolygon(pg, func(Entry) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	// Empty polygon visits nothing.
+	if err := tr.SearchPolygon(geo.Polygon{}, func(Entry) bool {
+		t.Fatal("must not visit")
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootEntryAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 48, WithScore: true})
+	items := randomItems(rng, 400, 48)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	root, err := tr.RootEntry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScore := 0.0
+	wantKw := kwset.NewSet(48)
+	for _, it := range items {
+		if it.Score > wantScore {
+			wantScore = it.Score
+		}
+		wantKw.UnionInPlace(it.Keywords)
+		if !root.Rect.Contains(it.Location) {
+			t.Fatal("root MBR does not contain item")
+		}
+	}
+	if math.Abs(root.Score-wantScore) > 1e-12 {
+		t.Errorf("root score %v, want %v", root.Score, wantScore)
+	}
+	if !root.Keywords.Equal(wantKw) {
+		t.Error("root keyword summary != union of item keywords")
+	}
+}
+
+func TestMixedBulkLoadTheInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 16, WithScore: true})
+	items := randomItems(rng, 300, 16)
+	if err := tr.BulkLoad(items[:200], hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[200:] {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	all, _ := tr.All()
+	if len(all) != 300 {
+		t.Fatalf("All = %d", len(all))
+	}
+}
+
+func TestBufferPoolCountsNodeReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tr := newTestTree(t, Config{PageSize: 512, BufferPages: 2})
+	if err := tr.BulkLoad(randomItems(rng, 2000, 0), hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	tr.Pool().ResetStats()
+	_ = tr.RangeSearch(geo.Point{X: 0.5, Y: 0.5}, 0.05, func(Entry) bool { return true })
+	s := tr.Pool().Stats()
+	if s.LogicalReads == 0 {
+		t.Fatal("no logical reads recorded")
+	}
+	if s.PhysicalReads == 0 {
+		t.Fatal("tiny pool must incur physical reads")
+	}
+}
+
+// Property: bulk loading with any key permutation preserves the item set
+// and invariants.
+func TestBulkLoadPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := New(Config{PageSize: 256})
+		if err != nil {
+			return false
+		}
+		n := 50 + rng.Intn(200)
+		items := randomItems(rng, n, 0)
+		// Random (non-spatial) key still yields a valid tree.
+		if err := tr.BulkLoad(items, func(it Item) uint64 { return uint64(it.ID * 2654435761) }); err != nil {
+			return false
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		all, err := tr.All()
+		return err == nil && len(all) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileDiskBackedTree(t *testing.T) {
+	path := t.TempDir() + "/tree.pages"
+	disk, err := storage.NewFileDisk(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	tr, err := New(Config{PageSize: 512, Disk: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	items := randomItems(rng, 500, 0)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	_ = tr.RangeSearch(geo.Point{X: 0.5, Y: 0.5}, 0.3, func(Entry) bool { got++; return true })
+	want := 0
+	for _, it := range items {
+		if it.Location.Dist(geo.Point{X: 0.5, Y: 0.5}) <= 0.3 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("file-backed search got %d, want %d", got, want)
+	}
+}
+
+func TestMetaOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 16, WithScore: true})
+	items := randomItems(rng, 600, 16)
+	if err := tr.BulkLoad(items, hilbert2DKey); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(Config{
+		PageSize: 512, KeywordWidth: 16, WithScore: true, Disk: tr.Config().Disk,
+	}, tr.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 600 || reopened.Height() != tr.Height() {
+		t.Fatalf("meta mismatch: len=%d height=%d", reopened.Len(), reopened.Height())
+	}
+	if err := reopened.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries agree.
+	center := geo.Point{X: 0.4, Y: 0.6}
+	var a, b int
+	_ = tr.RangeSearch(center, 0.2, func(Entry) bool { a++; return true })
+	_ = reopened.RangeSearch(center, 0.2, func(Entry) bool { b++; return true })
+	if a != b {
+		t.Fatalf("range results differ: %d vs %d", a, b)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}, Meta{Height: 1}); err == nil {
+		t.Fatal("Open without disk must fail")
+	}
+	tr := newTestTree(t, Config{PageSize: 512})
+	disk := tr.Config().Disk
+	if _, err := Open(Config{PageSize: 1024, Disk: disk}, tr.Meta()); err == nil {
+		t.Fatal("page size mismatch must fail")
+	}
+	if _, err := Open(Config{Disk: disk}, Meta{Root: 9999, Height: 1}); err == nil {
+		t.Fatal("out-of-range root must fail")
+	}
+	if _, err := Open(Config{Disk: disk}, Meta{Root: 0, Height: 0}); err == nil {
+		t.Fatal("zero height must fail")
+	}
+}

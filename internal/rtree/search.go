@@ -1,0 +1,183 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"stpq/internal/geo"
+)
+
+// RangeSearch visits every indexed item within Euclidean distance r of
+// center, in no particular order. fn returning false stops the search
+// early. It is the retrieval primitive behind getDataObjects for the range
+// score variant (paper Section 6.4).
+func (t *Tree) RangeSearch(center geo.Point, r float64, fn func(Entry) bool) error {
+	return t.searchNode(t.root, func(e Entry) bool {
+		if e.Leaf {
+			return e.Point().Dist(center) <= r
+		}
+		return e.Rect.MinDist(center) <= r
+	}, fn)
+}
+
+// SearchRect visits every indexed item inside rect.
+func (t *Tree) SearchRect(rect geo.Rect, fn func(Entry) bool) error {
+	return t.searchNode(t.root, func(e Entry) bool {
+		if e.Leaf {
+			return rect.Contains(e.Point())
+		}
+		return e.Rect.Intersects(rect)
+	}, fn)
+}
+
+// SearchFiltered visits every item whose ancestors all pass the prune
+// predicate. prune receives internal entries (subtree MBR plus
+// aggregates) and leaf entries alike and returns whether the entry can
+// contain qualifying items. fn receives qualifying leaf entries and
+// returns false to stop.
+func (t *Tree) SearchFiltered(prune func(Entry) bool, fn func(Entry) bool) error {
+	return t.searchNode(t.root, prune, fn)
+}
+
+// searchNode is the shared depth-first traversal.
+func (t *Tree) searchNode(pid storagePage, accept func(Entry) bool, fn func(Entry) bool) error {
+	stack := []storagePage{pid}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.Node(id)
+		if err != nil {
+			return err
+		}
+		for _, e := range n.Entries {
+			if !accept(e) {
+				continue
+			}
+			if e.Leaf {
+				if !fn(e) {
+					return nil
+				}
+			} else {
+				stack = append(stack, e.Child)
+			}
+		}
+	}
+	return nil
+}
+
+// KNearest returns the k items nearest to center in increasing distance
+// order (best-first search with a priority queue of MINDIST bounds).
+func (t *Tree) KNearest(center geo.Point, k int) ([]Entry, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	out := make([]Entry, 0, k)
+	err := t.AscendDistance(center, func(e Entry, _ float64) bool {
+		out = append(out, e)
+		return len(out) < k
+	})
+	return out, err
+}
+
+// AscendDistance streams indexed items in increasing distance from center.
+// fn receives each item and its distance and returns false to stop. This
+// is the incremental nearest-neighbor primitive used by the NN score
+// variant and the Voronoi construction.
+func (t *Tree) AscendDistance(center geo.Point, fn func(Entry, float64) bool) error {
+	root, err := t.RootEntry()
+	if err != nil {
+		return err
+	}
+	pq := &distQueue{}
+	heap.Push(pq, distItem{entry: root, dist: root.Rect.MinDist(center)})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.entry.Leaf {
+			if !fn(it.entry, it.dist) {
+				return nil
+			}
+			continue
+		}
+		n, err := t.Node(it.entry.Child)
+		if err != nil {
+			return err
+		}
+		for _, c := range n.Entries {
+			d := c.Rect.MinDist(center)
+			heap.Push(pq, distItem{entry: c, dist: d})
+		}
+	}
+	return nil
+}
+
+// distItem pairs an entry with its MINDIST priority.
+type distItem struct {
+	entry Entry
+	dist  float64
+}
+
+// distQueue is a min-heap over distances.
+type distQueue []distItem
+
+func (q distQueue) Len() int            { return len(q) }
+func (q distQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distItem)) }
+func (q *distQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// All returns every indexed item (leaf-order scan). It is the sequential
+// object scan STDS starts from.
+func (t *Tree) All() ([]Entry, error) {
+	var out []Entry
+	err := t.searchNode(t.root, func(Entry) bool { return true }, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, err
+}
+
+// Leaves visits each leaf node's entries as one batch — the unit the
+// batched STDS score computation processes together (paper Section 5,
+// "Performance improvements"). Leaf batches are spatially coherent, which
+// is what makes batching effective.
+func (t *Tree) Leaves(fn func([]Entry) bool) error {
+	stack := []storagePage{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.Node(id)
+		if err != nil {
+			return err
+		}
+		if n.Leaf {
+			if len(n.Entries) > 0 && !fn(n.Entries) {
+				return nil
+			}
+			continue
+		}
+		for _, e := range n.Entries {
+			stack = append(stack, e.Child)
+		}
+	}
+	return nil
+}
+
+// SearchPolygon visits every item inside the convex polygon pg. Internal
+// nodes are pruned when their MBR does not intersect the polygon — the
+// retrieval step over Voronoi cell intersections in Section 7.2.
+func (t *Tree) SearchPolygon(pg geo.Polygon, fn func(Entry) bool) error {
+	if pg.IsEmpty() {
+		return nil
+	}
+	return t.searchNode(t.root, func(e Entry) bool {
+		if e.Leaf {
+			return pg.Contains(e.Point())
+		}
+		return pg.IntersectsRect(e.Rect)
+	}, fn)
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool caches recently used pages of a Disk with an LRU eviction
+// policy and counts logical and physical reads.
+//
+// The pool is intentionally simple: pages are read-mostly once an index is
+// built, so there is no dirty-page write-back path — WriteThrough stores
+// pages synchronously. A BufferPool is not safe for concurrent use; the
+// query algorithms are single-threaded, as in the paper.
+type BufferPool struct {
+	disk     Disk
+	capacity int
+	stats    Stats
+
+	lru     *list.List // front = most recently used; values are *frame
+	entries map[PageID]*list.Element
+}
+
+type frame struct {
+	id   PageID
+	data []byte
+}
+
+// NewBufferPool wraps disk with an LRU cache of capacity pages.
+// A capacity of 0 disables caching entirely (every read is physical),
+// which is useful for measuring worst-case I/O.
+func NewBufferPool(disk Disk, capacity int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[PageID]*list.Element),
+	}
+}
+
+// Disk returns the underlying disk.
+func (b *BufferPool) Disk() Disk { return b.disk }
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Len returns the number of cached pages.
+func (b *BufferPool) Len() int { return b.lru.Len() }
+
+// Get returns the contents of the page. The returned slice is owned by the
+// pool and must not be modified or retained across further pool calls;
+// callers decode it into their own node representation immediately.
+func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	b.stats.LogicalReads++
+	if el, ok := b.entries[id]; ok {
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	b.stats.PhysicalReads++
+	data := make([]byte, b.disk.PageSize())
+	if err := b.disk.ReadPage(id, data); err != nil {
+		return nil, fmt.Errorf("bufferpool: %w", err)
+	}
+	b.insert(id, data)
+	return data, nil
+}
+
+// WriteThrough writes the page to disk and refreshes the cached copy.
+func (b *BufferPool) WriteThrough(id PageID, data []byte) error {
+	b.stats.Writes++
+	if err := b.disk.WritePage(id, data); err != nil {
+		return fmt.Errorf("bufferpool: %w", err)
+	}
+	if el, ok := b.entries[id]; ok {
+		f := el.Value.(*frame)
+		copy(f.data, data)
+		for i := len(data); i < len(f.data); i++ {
+			f.data[i] = 0
+		}
+		b.lru.MoveToFront(el)
+	}
+	return nil
+}
+
+// insert caches the page, evicting the least recently used page if full.
+func (b *BufferPool) insert(id PageID, data []byte) {
+	if b.capacity == 0 {
+		return
+	}
+	if b.lru.Len() >= b.capacity {
+		back := b.lru.Back()
+		if back != nil {
+			b.lru.Remove(back)
+			delete(b.entries, back.Value.(*frame).id)
+		}
+	}
+	b.entries[id] = b.lru.PushFront(&frame{id: id, data: data})
+}
+
+// Contains reports whether the page is currently cached (for tests).
+func (b *BufferPool) Contains(id PageID) bool {
+	_, ok := b.entries[id]
+	return ok
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (b *BufferPool) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters (the cache contents are kept, matching
+// the paper's warm-cache steady-state measurements).
+func (b *BufferPool) ResetStats() { b.stats = Stats{} }
+
+// Clear drops all cached pages (cold-cache measurements).
+func (b *BufferPool) Clear() {
+	b.lru.Init()
+	b.entries = make(map[PageID]*list.Element)
+}

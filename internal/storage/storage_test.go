@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMemDiskRoundTrip(t *testing.T) {
+	d := NewMemDisk(64)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello pages")
+	if err := d.WritePage(id, want); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := d.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:len(want)], want) {
+		t.Errorf("read back %q", buf[:len(want)])
+	}
+	// Rest of page must be zero.
+	for _, b := range buf[len(want):] {
+		if b != 0 {
+			t.Fatal("page tail not zeroed")
+		}
+	}
+}
+
+func TestMemDiskShorterRewriteZeroesTail(t *testing.T) {
+	d := NewMemDisk(32)
+	id, _ := d.Allocate()
+	if err := d.WritePage(id, bytes.Repeat([]byte{0xff}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(id, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if err := d.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 0 || buf[31] != 0 {
+		t.Errorf("rewrite did not zero tail: %v", buf)
+	}
+}
+
+func TestMemDiskBounds(t *testing.T) {
+	d := NewMemDisk(32)
+	buf := make([]byte, 32)
+	if err := d.ReadPage(5, buf); !errors.Is(err, ErrPageBounds) {
+		t.Errorf("read: got %v, want ErrPageBounds", err)
+	}
+	if err := d.WritePage(0, buf); !errors.Is(err, ErrPageBounds) {
+		t.Errorf("write: got %v, want ErrPageBounds", err)
+	}
+	id, _ := d.Allocate()
+	if err := d.WritePage(id, make([]byte, 33)); err == nil {
+		t.Error("oversized write must fail")
+	}
+}
+
+func TestMemDiskDefaultPageSize(t *testing.T) {
+	if got := NewMemDisk(0).PageSize(); got != DefaultPageSize {
+		t.Errorf("default page size = %d", got)
+	}
+	if got := NewMemDisk(-7).PageSize(); got != DefaultPageSize {
+		t.Errorf("negative page size = %d", got)
+	}
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.bin")
+	d, err := NewFileDisk(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, err := d.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := d.WritePage(id, []byte{byte(i), byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumPages() != 10 {
+		t.Errorf("NumPages = %d", d.NumPages())
+	}
+	buf := make([]byte, 128)
+	for i, id := range ids {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) || buf[1] != byte(i+1) {
+			t.Errorf("page %d: got %v", id, buf[:2])
+		}
+	}
+	if err := d.ReadPage(99, buf); !errors.Is(err, ErrPageBounds) {
+		t.Errorf("bounds: %v", err)
+	}
+}
+
+func TestBufferPoolCountsPhysicalReads(t *testing.T) {
+	d := NewMemDisk(32)
+	id, _ := d.Allocate()
+	_ = d.WritePage(id, []byte{42})
+	p := NewBufferPool(d, 4)
+	for i := 0; i < 5; i++ {
+		data, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != 42 {
+			t.Fatal("wrong data")
+		}
+	}
+	s := p.Stats()
+	if s.LogicalReads != 5 {
+		t.Errorf("LogicalReads = %d, want 5", s.LogicalReads)
+	}
+	if s.PhysicalReads != 1 {
+		t.Errorf("PhysicalReads = %d, want 1 (cache hit expected)", s.PhysicalReads)
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	d := NewMemDisk(16)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := d.Allocate()
+		_ = d.WritePage(id, []byte{byte(i)})
+		ids = append(ids, id)
+	}
+	p := NewBufferPool(d, 2)
+	_, _ = p.Get(ids[0])
+	_, _ = p.Get(ids[1])
+	_, _ = p.Get(ids[0]) // refresh 0; LRU order now [0,1]
+	_, _ = p.Get(ids[2]) // evicts 1
+	if p.Contains(ids[1]) {
+		t.Error("page 1 should have been evicted")
+	}
+	if !p.Contains(ids[0]) || !p.Contains(ids[2]) {
+		t.Error("pages 0 and 2 should be cached")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	d := NewMemDisk(16)
+	id, _ := d.Allocate()
+	p := NewBufferPool(d, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Stats().PhysicalReads; got != 3 {
+		t.Errorf("PhysicalReads = %d, want 3 with no caching", got)
+	}
+}
+
+func TestBufferPoolWriteThrough(t *testing.T) {
+	d := NewMemDisk(16)
+	id, _ := d.Allocate()
+	p := NewBufferPool(d, 2)
+	_, _ = p.Get(id) // cache it
+	if err := p.WriteThrough(id, []byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := p.Get(id)
+	if data[0] != 7 || data[1] != 8 {
+		t.Error("cached copy not refreshed")
+	}
+	// And the disk itself.
+	buf := make([]byte, 16)
+	_ = d.ReadPage(id, buf)
+	if buf[0] != 7 {
+		t.Error("disk copy not written")
+	}
+	if p.Stats().Writes != 1 {
+		t.Errorf("Writes = %d", p.Stats().Writes)
+	}
+}
+
+func TestBufferPoolClearAndReset(t *testing.T) {
+	d := NewMemDisk(16)
+	id, _ := d.Allocate()
+	p := NewBufferPool(d, 2)
+	_, _ = p.Get(id)
+	p.ResetStats()
+	if s := p.Stats(); s.LogicalReads != 0 || s.PhysicalReads != 0 {
+		t.Error("ResetStats failed")
+	}
+	p.Clear()
+	if p.Len() != 0 {
+		t.Error("Clear failed")
+	}
+	_, _ = p.Get(id)
+	if p.Stats().PhysicalReads != 1 {
+		t.Error("after Clear, read must be physical")
+	}
+}
+
+// Randomized workload: the pool must always return the same bytes the disk
+// holds, regardless of eviction pattern.
+func TestBufferPoolConsistencyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewMemDisk(8)
+	const n = 20
+	want := make(map[PageID]byte)
+	for i := 0; i < n; i++ {
+		id, _ := d.Allocate()
+		b := byte(rng.Intn(256))
+		_ = d.WritePage(id, []byte{b})
+		want[id] = b
+	}
+	p := NewBufferPool(d, 3)
+	for i := 0; i < 1000; i++ {
+		id := PageID(rng.Intn(n))
+		if rng.Intn(10) == 0 {
+			b := byte(rng.Intn(256))
+			if err := p.WriteThrough(id, []byte{b}); err != nil {
+				t.Fatal(err)
+			}
+			want[id] = b
+			continue
+		}
+		data, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != want[id] {
+			t.Fatalf("page %d: got %d, want %d", id, data[0], want[id])
+		}
+		if p.Len() > 3 {
+			t.Fatal("pool exceeded capacity")
+		}
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{LogicalReads: 10, PhysicalReads: 4, Writes: 1}
+	b := Stats{LogicalReads: 3, PhysicalReads: 1, Writes: 1}
+	diff := a.Sub(b)
+	if diff.LogicalReads != 7 || diff.PhysicalReads != 3 || diff.Writes != 0 {
+		t.Errorf("Sub = %+v", diff)
+	}
+	var acc Stats
+	acc.Add(a)
+	acc.Add(b)
+	if acc.LogicalReads != 13 || acc.PhysicalReads != 5 || acc.Writes != 2 {
+		t.Errorf("Add = %+v", acc)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.IOTime(10); got != 10*m.PerPage {
+		t.Errorf("IOTime = %v", got)
+	}
+	custom := CostModel{PerPage: time.Millisecond}
+	if got := custom.IOTime(3); got != 3*time.Millisecond {
+		t.Errorf("custom IOTime = %v", got)
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	d := NewMemDisk(64)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 17; i++ {
+		id, _ := d.Allocate()
+		page := make([]byte, 64)
+		rng.Read(page)
+		if err := d.WritePage(id, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := DumpDisk(d, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMemDisk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PageSize() != 64 || got.NumPages() != 17 {
+		t.Fatalf("shape: %d pages of %d bytes", got.NumPages(), got.PageSize())
+	}
+	a, b := make([]byte, 64), make([]byte, 64)
+	for i := 0; i < 17; i++ {
+		_ = d.ReadPage(PageID(i), a)
+		_ = got.ReadPage(PageID(i), b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+}
+
+func TestLoadMemDiskRejectsGarbage(t *testing.T) {
+	if _, err := LoadMemDisk(bytes.NewReader([]byte("garbage data here"))); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	if _, err := LoadMemDisk(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected short-read error")
+	}
+	// Truncated page section.
+	d := NewMemDisk(32)
+	_, _ = d.Allocate()
+	var buf bytes.Buffer
+	if err := DumpDisk(d, &buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := LoadMemDisk(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

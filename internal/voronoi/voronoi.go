@@ -1,0 +1,76 @@
+// Package voronoi computes Voronoi cells incrementally by half-plane
+// clipping, as required by the nearest-neighbor variant of spatio-textual
+// preference queries (paper Section 7.2).
+//
+// The cell of a site t_i is the region whose points have t_i as their
+// nearest neighbor within the feature set. It is built by clipping a
+// bounding polygon with the perpendicular bisectors of t_i and its
+// neighbors, visited in increasing distance from t_i. The construction
+// stops — and the cell is provably exact — once the next neighbor is at
+// least twice as far from the site as the farthest cell vertex: such a
+// neighbor's bisector cannot cut the remaining cell.
+package voronoi
+
+import (
+	"stpq/internal/geo"
+)
+
+// CellBuilder incrementally constructs the Voronoi cell of one site.
+// Feed neighbors in non-decreasing distance from the site via Clip and
+// stop when Done reports the cell can no longer change.
+type CellBuilder struct {
+	site    geo.Point
+	cell    geo.Polygon
+	maxDist float64 // max distance from site to any cell vertex
+	clips   int
+}
+
+// NewCellBuilder starts a cell for site bounded by the given polygon
+// (typically the unit square of the normalized data space).
+func NewCellBuilder(site geo.Point, bound geo.Polygon) *CellBuilder {
+	return &CellBuilder{site: site, cell: bound, maxDist: bound.MaxDist(site)}
+}
+
+// Clip intersects the current cell with the half-plane of points at least
+// as close to the site as to other. Clipping with the site itself is a
+// no-op.
+func (b *CellBuilder) Clip(other geo.Point) {
+	if other == b.site {
+		return
+	}
+	b.clips++
+	b.cell = b.cell.Clip(geo.Bisector(b.site, other))
+	b.maxDist = b.cell.MaxDist(b.site)
+}
+
+// Done reports whether a neighbor at distance nextDist from the site can
+// still modify the cell. Once nextDist ≥ 2·maxDist(site, cell) the cell is
+// final: for any cell point q, dist(q, neighbor) ≥ nextDist − dist(q, site)
+// ≥ 2·maxDist − maxDist ≥ dist(q, site), so the bisector cannot exclude q.
+func (b *CellBuilder) Done(nextDist float64) bool {
+	return nextDist >= 2*b.maxDist
+}
+
+// Cell returns the current cell polygon.
+func (b *CellBuilder) Cell() geo.Polygon { return b.cell }
+
+// Clips returns the number of bisector clips applied (a CPU-cost metric).
+func (b *CellBuilder) Clips() int { return b.clips }
+
+// ComputeCell builds the exact Voronoi cell of site within bound given a
+// stream of neighbors in non-decreasing distance. next returns the
+// neighbor point and true, or false when the stream is exhausted. The
+// stream is consumed only as far as the stopping rule requires.
+func ComputeCell(site geo.Point, bound geo.Polygon, next func() (geo.Point, bool)) geo.Polygon {
+	b := NewCellBuilder(site, bound)
+	for {
+		p, ok := next()
+		if !ok {
+			return b.Cell()
+		}
+		if b.Done(p.Dist(site)) {
+			return b.Cell()
+		}
+		b.Clip(p)
+	}
+}

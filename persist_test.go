@@ -1,0 +1,117 @@
+package stpq
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := paperDB(t, Config{})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest and page dumps must exist.
+	for _, name := range []string{"stpq.json", "objects.pages", "features_0.pages", "features_1.pages"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answers, same scores, for every variant and both algorithms.
+	for _, variant := range []Variant{Range, Influence, NearestNeighbor} {
+		for _, alg := range []Algorithm{STPS, STDS} {
+			q := paperQuery(4, alg)
+			q.Variant = variant
+			want, _, err := db.TopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := reopened.TopK(q)
+			if err != nil {
+				t.Fatalf("variant %v alg %v: %v", variant, alg, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("variant %v: %d vs %d results", variant, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+					t.Fatalf("variant %v rank %d: got (%d, %v), want (%d, %v)",
+						variant, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				}
+			}
+		}
+	}
+	// Feature set names and keyword statistics survive.
+	names := reopened.FeatureSetNames()
+	if len(names) != 2 || names[0] != "restaurants" {
+		t.Fatalf("names = %v", names)
+	}
+	stats, err := reopened.KeywordStats("restaurants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats {
+		if s.Keyword == "pizza" && s.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("keyword stats lost after reopen")
+	}
+	// Selectivity too.
+	sel, err := reopened.Selectivity("restaurants", []string{"pizza", "italian"})
+	if err != nil || math.Abs(sel-3.0/8.0) > 1e-12 {
+		t.Fatalf("selectivity after reopen = %v, %v", sel, err)
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	if err := New(Config{}).Save(t.TempDir()); err == nil {
+		t.Error("Save before Build must fail")
+	}
+	db := paperDB(t, Config{IndexKind: IR2, SignatureBits: 8})
+	if err := db.Save(t.TempDir()); err == nil {
+		t.Error("signature-mode Save must fail")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open of empty dir must fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "stpq.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open with corrupt manifest must fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stpq.json"), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open with unknown version must fail")
+	}
+}
+
+func TestOpenedDBIsQueryOnly(t *testing.T) {
+	dir := t.TempDir()
+	db := paperDB(t, Config{})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Build(); err == nil {
+		t.Error("Build on an opened DB must fail")
+	}
+}

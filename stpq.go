@@ -1,0 +1,474 @@
+// Package stpq implements top-k spatio-textual preference queries: ranked
+// retrieval of spatial data objects (e.g. hotels) by the quality and
+// textual relevance of feature objects (e.g. restaurants, coffeehouses)
+// located in their neighborhood.
+//
+// It is a from-scratch reproduction of "On Processing Top-k Spatio-Textual
+// Preference Queries" (Tsatsanifos & Vlachou, EDBT 2015), including the
+// SRT-index, the STDS and STPS query processing algorithms, and the range,
+// influence and nearest-neighbor score variants.
+//
+// # Quick start
+//
+//	db := stpq.New(stpq.Config{})
+//	db.AddObjects([]stpq.Object{{ID: 1, X: 0.52, Y: 0.41}})
+//	db.AddFeatureSet("restaurants", []stpq.Feature{
+//		{ID: 1, X: 0.53, Y: 0.40, Score: 0.8, Keywords: []string{"pizza", "italian"}},
+//	})
+//	if err := db.Build(); err != nil { ... }
+//	res, stats, err := db.TopK(stpq.Query{
+//		K:      5,
+//		Radius: 0.05,
+//		Lambda: 0.5,
+//		Keywords: map[string][]string{"restaurants": {"italian", "pizza"}},
+//	})
+//
+// Coordinates are expected in the normalized unit square [0,1]×[0,1] and
+// feature scores (ratings) in [0,1], matching the paper's setup.
+package stpq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stpq/internal/core"
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/invindex"
+	"stpq/internal/kwset"
+	"stpq/internal/storage"
+)
+
+// Object is a data object p ∈ O: the entities being ranked.
+type Object struct {
+	ID   int64
+	X, Y float64
+}
+
+// Feature is a feature object t ∈ F_i: a facility with a quality score in
+// [0,1] and a textual description.
+type Feature struct {
+	ID       int64
+	X, Y     float64
+	Score    float64
+	Keywords []string
+}
+
+// IndexKind selects the feature index structure.
+type IndexKind int
+
+const (
+	// SRT is the paper's SRT-index: feature objects are clustered by
+	// spatial location, score and keyword similarity together (default).
+	SRT IndexKind = iota
+	// IR2 is the modified IR²-tree baseline: spatial clustering only,
+	// augmented with score and keyword summaries.
+	IR2
+)
+
+// Variant selects the preference score definition.
+type Variant int
+
+const (
+	// Range scores an object by the best relevant feature within Radius.
+	Range Variant = iota
+	// Influence drops the hard range: feature scores decay exponentially
+	// with distance (halving every Radius).
+	Influence
+	// NearestNeighbor scores an object by its spatially nearest feature
+	// of each set, if that feature is relevant.
+	NearestNeighbor
+)
+
+// Similarity selects the textual similarity function sim(t, W) of the
+// preference score (Definition 1). The paper evaluates Jaccard; the other
+// measures plug into the same framework with sound index bounds.
+type Similarity int
+
+const (
+	// JaccardSim is |t.W ∩ W| / |t.W ∪ W| (default, the paper's choice).
+	JaccardSim Similarity = iota
+	// DiceSim is 2|t.W ∩ W| / (|t.W| + |W|).
+	DiceSim
+	// CosineSim is |t.W ∩ W| / √(|t.W|·|W|).
+	CosineSim
+	// OverlapSim is |t.W ∩ W| / min(|t.W|, |W|).
+	OverlapSim
+)
+
+// Algorithm selects the query processing strategy.
+type Algorithm int
+
+const (
+	// STPS (Spatio-Textual Preference Search) retrieves highly ranked
+	// feature combinations first, then objects near them (default; orders
+	// of magnitude faster).
+	STPS Algorithm = iota
+	// STDS (Spatio-Textual Data Scan) scores every data object; the
+	// paper's baseline.
+	STDS
+)
+
+// Config tunes storage and algorithm behaviour.
+type Config struct {
+	// IndexKind selects SRT (default) or IR2 feature indexing.
+	IndexKind IndexKind
+	// PageSize is the simulated disk page size in bytes (default 4096).
+	PageSize int
+	// BufferPages is the per-index LRU buffer pool capacity in pages
+	// (default 1024).
+	BufferPages int
+	// IOCostPerPage converts physical page reads into modeled I/O time
+	// for Stats (default 100µs).
+	IOCostPerPage time.Duration
+	// RoundRobinPulling switches STPS to the simple round-robin pulling
+	// strategy instead of the prioritized strategy of Definition 5.
+	RoundRobinPulling bool
+	// LazyCombinations forces the bounded-memory lattice enumeration of
+	// feature combinations for every variant; by default the range
+	// variant uses the paper's eager materialization (which its validity
+	// filter keeps small) and the other variants use the lazy lattice.
+	LazyCombinations bool
+	// DisableBatchSTDS turns off the batched STDS score computation
+	// ("Performance improvements", Section 5).
+	DisableBatchSTDS bool
+	// CacheVoronoiCells keeps the Voronoi cells computed by
+	// nearest-neighbor queries across queries — the precomputation for
+	// static data the paper suggests in Section 8.5.
+	CacheVoronoiCells bool
+	// SignatureBits stores hashed keyword signatures of this width in
+	// feature indexes instead of exact bitmaps (classic IR²-tree
+	// signature files with verification reads against a record file).
+	// 0 keeps exact bitmaps. Results are identical either way.
+	SignatureBits int
+}
+
+// Query is a top-k spatio-textual preference query.
+type Query struct {
+	// K is the number of objects to return.
+	K int
+	// Radius is the range constraint r (range variant) or the decay
+	// length (influence variant), in normalized coordinates.
+	Radius float64
+	// Lambda balances feature quality (0) against textual similarity (1);
+	// the paper's default is 0.5.
+	Lambda float64
+	// Keywords maps feature set names to the desired keywords W_i.
+	// Feature sets absent from the map match nothing (their contribution
+	// is 0).
+	Keywords map[string][]string
+	// Variant selects the score definition (default Range).
+	Variant Variant
+	// Algorithm selects the processing strategy (default STPS).
+	Algorithm Algorithm
+	// Similarity selects the textual similarity measure (default
+	// JaccardSim).
+	Similarity Similarity
+}
+
+// Result is one ranked data object.
+type Result struct {
+	ID    int64
+	X, Y  float64
+	Score float64
+}
+
+// Stats reports the cost of one query, following the paper's metric:
+// measured CPU time plus I/O time modeled from physical page reads.
+type Stats struct {
+	CPUTime        time.Duration
+	IOTime         time.Duration
+	LogicalReads   int64
+	PhysicalReads  int64
+	VoronoiCPUTime time.Duration
+	VoronoiReads   int64
+	Combinations   int
+	FeaturesPulled int
+	ObjectsScored  int
+}
+
+// Total returns CPU plus modeled I/O time.
+func (s Stats) Total() time.Duration { return s.CPUTime + s.IOTime }
+
+// DB is a queryable collection of data objects and named feature sets.
+// Populate it with AddObjects/AddFeatureSet, call Build once, then query
+// with TopK. After Build, a DB is safe for concurrent use: queries are
+// serialized internally, because the simulated buffer pools attribute
+// page-read statistics to one query at a time (exactly the paper's
+// measurement methodology). Mutations (AddObjects, AddFeatureSet, Build)
+// must not race with queries.
+type DB struct {
+	mu       sync.Mutex
+	cfg      Config
+	vocab    *kwset.Vocabulary
+	objects  []Object
+	setNames []string
+	sets     map[string][]Feature
+	engine   *core.Engine
+	inverted map[string]*invindex.Index
+	built    bool
+}
+
+// New creates an empty DB.
+func New(cfg Config) *DB {
+	return &DB{cfg: cfg, vocab: kwset.NewVocabulary(), sets: make(map[string][]Feature)}
+}
+
+// AddObjects appends data objects. Must be called before Build.
+func (db *DB) AddObjects(objs []Object) *DB {
+	db.objects = append(db.objects, objs...)
+	return db
+}
+
+// AddFeatureSet registers a named feature set (e.g. "restaurants").
+// Calling it again with the same name appends to that set. Must be called
+// before Build.
+func (db *DB) AddFeatureSet(name string, feats []Feature) *DB {
+	if _, ok := db.sets[name]; !ok {
+		db.setNames = append(db.setNames, name)
+	}
+	db.sets[name] = append(db.sets[name], feats...)
+	return db
+}
+
+// FeatureSetNames returns the registered feature set names in insertion
+// order — the order Keywords sets are matched against.
+func (db *DB) FeatureSetNames() []string {
+	out := make([]string, len(db.setNames))
+	copy(out, db.setNames)
+	return out
+}
+
+// Build constructs the indexes. It must be called exactly once, after all
+// data has been added and before the first query.
+func (db *DB) Build() error {
+	if db.built {
+		return errors.New("stpq: Build called twice")
+	}
+	if len(db.objects) == 0 {
+		return errors.New("stpq: no data objects added")
+	}
+	if len(db.setNames) == 0 {
+		return errors.New("stpq: no feature sets added")
+	}
+	// Pass 1: intern every keyword so the vocabulary width is final.
+	for _, name := range db.setNames {
+		for _, f := range db.sets[name] {
+			for _, w := range f.Keywords {
+				db.vocab.Intern(w)
+			}
+		}
+	}
+	width := db.vocab.Size()
+	if width == 0 {
+		return errors.New("stpq: feature sets contain no keywords")
+	}
+	opts := index.Options{
+		Kind:          index.Kind(db.cfg.IndexKind),
+		VocabWidth:    width,
+		PageSize:      db.cfg.PageSize,
+		BufferPages:   db.cfg.BufferPages,
+		SignatureBits: db.cfg.SignatureBits,
+	}
+	objs := make([]index.Object, len(db.objects))
+	for i, o := range db.objects {
+		objs[i] = index.Object{ID: o.ID, Location: geo.Point{X: o.X, Y: o.Y}}
+	}
+	oidx, err := index.BuildObjectIndex(objs, opts)
+	if err != nil {
+		return fmt.Errorf("stpq: building object index: %w", err)
+	}
+	fidxs := make([]*index.FeatureIndex, len(db.setNames))
+	for i, name := range db.setNames {
+		raw := db.sets[name]
+		feats := make([]index.Feature, len(raw))
+		for j, f := range raw {
+			if f.Score < 0 || f.Score > 1 {
+				return fmt.Errorf("stpq: feature %d of %q has score %v outside [0,1]", f.ID, name, f.Score)
+			}
+			feats[j] = index.Feature{
+				ID:       f.ID,
+				Location: geo.Point{X: f.X, Y: f.Y},
+				Score:    f.Score,
+				Keywords: db.vocab.SetOf(f.Keywords...),
+			}
+		}
+		fidxs[i], err = index.BuildFeatureIndex(feats, opts)
+		if err != nil {
+			return fmt.Errorf("stpq: building feature index %q: %w", name, err)
+		}
+	}
+	coreOpts := core.Options{
+		BatchSTDS: !db.cfg.DisableBatchSTDS,
+	}
+	coreOpts.CacheVoronoiCells = db.cfg.CacheVoronoiCells
+	if db.cfg.LazyCombinations {
+		coreOpts.Combinations = core.CombinationsLazy
+	}
+	if db.cfg.RoundRobinPulling {
+		coreOpts.Pull = core.PullRoundRobin
+	}
+	if db.cfg.IOCostPerPage > 0 {
+		coreOpts.CostModel = storage.CostModel{PerPage: db.cfg.IOCostPerPage}
+	}
+	db.engine, err = core.NewEngine(oidx, fidxs, coreOpts)
+	if err != nil {
+		return err
+	}
+	db.built = true
+	return nil
+}
+
+// TopK runs the query and returns the k best objects with execution
+// statistics.
+func (db *DB) TopK(q Query) ([]Result, Stats, error) {
+	cq, err := db.toCoreQuery(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var (
+		res []core.Result
+		st  core.Stats
+	)
+	if q.Algorithm == STDS {
+		res, st, err = db.engine.STDS(cq)
+	} else {
+		res, st, err = db.engine.STPS(cq)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, X: r.Location.X, Y: r.Location.Y, Score: r.Score}
+	}
+	return out, fromCoreStats(st), nil
+}
+
+// KeywordStat describes one keyword of a feature set.
+type KeywordStat struct {
+	Keyword string
+	// Count is the number of features of the set described by the
+	// keyword.
+	Count int
+	// TopScore is the best non-spatial score among those features.
+	TopScore float64
+}
+
+// KeywordStats returns, for the named feature set, the per-keyword
+// document frequencies and best scores, ordered by descending frequency.
+// It is backed by an inverted index built on first use and helps users
+// gauge the selectivity of candidate query keywords.
+func (db *DB) KeywordStats(featureSet string) ([]KeywordStat, error) {
+	if !db.built {
+		return nil, errors.New("stpq: KeywordStats before Build")
+	}
+	pos := -1
+	for i, name := range db.setNames {
+		if name == featureSet {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("stpq: unknown feature set %q", featureSet)
+	}
+	if db.inverted == nil {
+		db.inverted = make(map[string]*invindex.Index)
+	}
+	ix, ok := db.inverted[featureSet]
+	if !ok {
+		// Build from the index itself so opened DBs (which do not retain
+		// the raw feature slices) are covered too.
+		entries, err := db.engine.Features()[pos].AllExact()
+		if err != nil {
+			return nil, err
+		}
+		feats := make([]index.Feature, len(entries))
+		for j, e := range entries {
+			feats[j] = index.Feature{ID: e.ItemID, Score: e.Score, Keywords: e.Keywords}
+		}
+		ix = invindex.Build(feats, db.vocab.Size())
+		db.inverted[featureSet] = ix
+	}
+	out := make([]KeywordStat, 0, db.vocab.Size())
+	for id := 0; id < db.vocab.Size(); id++ {
+		if n := ix.DocFrequency(id); n > 0 {
+			out = append(out, KeywordStat{Keyword: db.vocab.Word(id), Count: n, TopScore: ix.TopScore(id)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Keyword < out[j].Keyword
+	})
+	return out, nil
+}
+
+// Selectivity returns the fraction of the named feature set that is
+// textually relevant to the given keywords — a direct predictor of query
+// cost.
+func (db *DB) Selectivity(featureSet string, keywords []string) (float64, error) {
+	if _, err := db.KeywordStats(featureSet); err != nil {
+		return 0, err
+	}
+	return db.inverted[featureSet].Selectivity(db.vocab.LookupSet(keywords...)), nil
+}
+
+// Score computes the exact spatio-textual preference score of an arbitrary
+// location under the query, by brute force. Intended for debugging and
+// verification, not for production use.
+func (db *DB) Score(q Query, x, y float64) (float64, error) {
+	cq, err := db.toCoreQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.ExactScore(cq, geo.Point{X: x, Y: y})
+}
+
+// toCoreQuery validates and lowers a public query.
+func (db *DB) toCoreQuery(q Query) (core.Query, error) {
+	if !db.built {
+		return core.Query{}, errors.New("stpq: TopK before Build")
+	}
+	for name := range q.Keywords {
+		if _, ok := db.sets[name]; !ok {
+			return core.Query{}, fmt.Errorf("stpq: unknown feature set %q", name)
+		}
+	}
+	kws := make([]kwset.Set, len(db.setNames))
+	for i, name := range db.setNames {
+		kws[i] = db.vocab.LookupSet(q.Keywords[name]...)
+	}
+	return core.Query{
+		K:          q.K,
+		Radius:     q.Radius,
+		Lambda:     q.Lambda,
+		Keywords:   kws,
+		Variant:    core.Variant(q.Variant),
+		Similarity: index.Similarity(q.Similarity),
+	}, nil
+}
+
+// fromCoreStats converts internal stats to the public type.
+func fromCoreStats(st core.Stats) Stats {
+	return Stats{
+		CPUTime:        st.CPUTime,
+		IOTime:         st.IOTime,
+		LogicalReads:   st.LogicalReads,
+		PhysicalReads:  st.PhysicalReads,
+		VoronoiCPUTime: st.VoronoiCPUTime,
+		VoronoiReads:   st.VoronoiReads,
+		Combinations:   st.Combinations,
+		FeaturesPulled: st.FeaturesPulled,
+		ObjectsScored:  st.ObjectsScored,
+	}
+}
