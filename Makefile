@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# A single small benchmark data point, one iteration: catches bit-rot in the
+# benchmark harness without the cost of a full sweep.
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkFig7/a_features=10000' -benchtime 1x .
+
+check: build vet test race

@@ -51,6 +51,7 @@ func main() {
 		sim         = flag.String("sim", "jaccard", "textual similarity: jaccard | dice | cosine | overlap")
 		saveDir     = flag.String("save", "", "after building, save the indexes to this directory")
 		openDir     = flag.String("open", "", "open a saved database instead of loading CSVs")
+		trace       = flag.Bool("trace", false, "collect and print the query's span tree (phase timings and page reads)")
 	)
 	flag.Var(&featFiles, "features", "feature set CSV (repeatable)")
 	flag.Var(&kwArgs, "kw", "query keywords for the matching -features flag, ';' separated (repeatable)")
@@ -135,6 +136,7 @@ func main() {
 		log.Fatalf("unknown -sim %q", *sim)
 	}
 
+	db.SetTracing(*trace)
 	res, stats, err := db.TopK(q)
 	if err != nil {
 		log.Fatal(err)
@@ -145,6 +147,9 @@ func main() {
 	}
 	fmt.Printf("\ncost: %v CPU + %v modeled I/O (%d logical / %d physical page reads)\n",
 		stats.CPUTime, stats.IOTime, stats.LogicalReads, stats.PhysicalReads)
+	if *trace {
+		fmt.Printf("\ntrace:\n%s", stats.Trace)
+	}
 }
 
 // loadObjects parses an objects CSV.

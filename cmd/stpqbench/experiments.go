@@ -38,36 +38,40 @@ func (b *bench) scalabilitySweep(title, alg string, variant core.Variant, nq int
 	for _, f := range cardinalities {
 		ds := b.synthetic(b.scaled(defObjects), b.scaled(f), defSets, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), alg, qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), alg, qs)
-		line(fmt.Sprintf("  |F_i| = %d", b.scaled(f)), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  |F_i| = %d", b.scaled(f))
+		srt := b.run(label, "SRT", alg, b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", alg, b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 
 	line("vary |O|", "SRT", "IR2")
 	for _, o := range cardinalities {
 		ds := b.synthetic(b.scaled(o), b.scaled(defFeatures), defSets, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), alg, qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), alg, qs)
-		line(fmt.Sprintf("  |O| = %d", b.scaled(o)), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  |O| = %d", b.scaled(o))
+		srt := b.run(label, "SRT", alg, b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", alg, b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 
 	line("vary c", "SRT", "IR2")
 	for _, c := range featureCounts {
 		ds := b.synthetic(b.scaled(defObjects), b.scaled(defFeatures), c, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), alg, qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), alg, qs)
-		line(fmt.Sprintf("  c = %d", c), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  c = %d", c)
+		srt := b.run(label, "SRT", alg, b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", alg, b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 
 	line("vary indexed keywords", "SRT", "IR2")
 	for _, w := range vocabSizes {
 		ds := b.synthetic(b.scaled(defObjects), b.scaled(defFeatures), defSets, w)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), alg, qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), alg, qs)
-		line(fmt.Sprintf("  keywords = %d", w), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  keywords = %d", w)
+		srt := b.run(label, "SRT", alg, b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", alg, b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 }
 
@@ -84,7 +88,8 @@ func (b *bench) queryParamSweep(title string, ds *datagen.Dataset, variant core.
 			qc := b.defaultQC(variant)
 			qc.Radius = r
 			qs := ds.GenQueries(b.queries, qc)
-			line(fmt.Sprintf("  r = %.3f", r), cell(run(srt, "stps", qs)), cell(run(ir2, "stps", qs)))
+			label := fmt.Sprintf("  r = %.3f", r)
+			line(label, cell(b.run(label, "SRT", "stps", srt, qs)), cell(b.run(label, "IR2", "stps", ir2, qs)))
 		}
 	}
 
@@ -93,7 +98,8 @@ func (b *bench) queryParamSweep(title string, ds *datagen.Dataset, variant core.
 		qc := b.defaultQC(variant)
 		qc.K = k
 		qs := ds.GenQueries(b.queries, qc)
-		line(fmt.Sprintf("  k = %d", k), cell(run(srt, "stps", qs)), cell(run(ir2, "stps", qs)))
+		label := fmt.Sprintf("  k = %d", k)
+		line(label, cell(b.run(label, "SRT", "stps", srt, qs)), cell(b.run(label, "IR2", "stps", ir2, qs)))
 	}
 
 	line("vary lambda", "SRT", "IR2")
@@ -101,7 +107,8 @@ func (b *bench) queryParamSweep(title string, ds *datagen.Dataset, variant core.
 		qc := b.defaultQC(variant)
 		qc.Lambda = l
 		qs := ds.GenQueries(b.queries, qc)
-		line(fmt.Sprintf("  lambda = %.1f", l), cell(run(srt, "stps", qs)), cell(run(ir2, "stps", qs)))
+		label := fmt.Sprintf("  lambda = %.1f", l)
+		line(label, cell(b.run(label, "SRT", "stps", srt, qs)), cell(b.run(label, "IR2", "stps", ir2, qs)))
 	}
 
 	line("vary queried keywords", "SRT", "IR2")
@@ -109,7 +116,8 @@ func (b *bench) queryParamSweep(title string, ds *datagen.Dataset, variant core.
 		qc := b.defaultQC(variant)
 		qc.NumKeywords = n
 		qs := ds.GenQueries(b.queries, qc)
-		line(fmt.Sprintf("  keywords = %d", n), cell(run(srt, "stps", qs)), cell(run(ir2, "stps", qs)))
+		label := fmt.Sprintf("  keywords = %d", n)
+		line(label, cell(b.run(label, "SRT", "stps", srt, qs)), cell(b.run(label, "IR2", "stps", ir2, qs)))
 	}
 }
 
@@ -163,18 +171,20 @@ func (b *bench) fig10ab() {
 	for _, f := range cardinalities {
 		ds := b.synthetic(b.scaled(defObjects), b.scaled(f), defSets, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  |F_i| = %d", b.scaled(f)), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  |F_i| = %d", b.scaled(f))
+		srt := b.run(label, "SRT", "stps", b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", "stps", b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 
 	line("vary |O|", "SRT", "IR2")
 	for _, o := range cardinalities {
 		ds := b.synthetic(b.scaled(o), b.scaled(defFeatures), defSets, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  |O| = %d", b.scaled(o)), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  |O| = %d", b.scaled(o))
+		srt := b.run(label, "SRT", "stps", b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", "stps", b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 
 }
@@ -205,18 +215,20 @@ func (b *bench) fig10cd() {
 		}
 		ds := b.synthetic(tenth(b.scaled(defObjects)), tenth(b.scaled(defFeatures)), c, defVocab)
 		qs := ds.GenQueries(small, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  c = %d", c), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  c = %d", c)
+		srt := b.run(label, "SRT", "stps", b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", "stps", b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 
 	line("vary indexed keywords (1/10 scale)", "SRT", "IR2")
 	for _, w := range vocabSizes {
 		ds := b.synthetic(tenth(b.scaled(defObjects)), tenth(b.scaled(defFeatures)), defSets, w)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  keywords = %d", w), cell(srt), cell(ir2))
+		label := fmt.Sprintf("  keywords = %d", w)
+		srt := b.run(label, "SRT", "stps", b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", "stps", b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, cell(srt), cell(ir2))
 	}
 }
 
@@ -232,14 +244,16 @@ func (b *bench) fig11() {
 		qc := b.defaultQC(core.InfluenceScore)
 		qc.K = k
 		qs := ds.GenQueries(b.queries, qc)
-		line(fmt.Sprintf("  k = %d", k), cell(run(srt, "stps", qs)), cell(run(ir2, "stps", qs)))
+		label := fmt.Sprintf("  k = %d", k)
+		line(label, cell(b.run(label, "SRT", "stps", srt, qs)), cell(b.run(label, "IR2", "stps", ir2, qs)))
 	}
 	line("vary queried keywords", "SRT", "IR2")
 	for _, n := range queriedKws {
 		qc := b.defaultQC(core.InfluenceScore)
 		qc.NumKeywords = n
 		qs := ds.GenQueries(b.queries, qc)
-		line(fmt.Sprintf("  keywords = %d", n), cell(run(srt, "stps", qs)), cell(run(ir2, "stps", qs)))
+		label := fmt.Sprintf("  keywords = %d", n)
+		line(label, cell(b.run(label, "SRT", "stps", srt, qs)), cell(b.run(label, "IR2", "stps", ir2, qs)))
 	}
 }
 
@@ -271,9 +285,10 @@ func (b *bench) fig13a() {
 	for _, f := range cardinalities {
 		ds := b.synthetic(b.scaled(defObjects), b.scaled(f), defSets, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  |F_i| = %d", b.scaled(f)), b.vorCell(srt), b.vorCell(ir2))
+		label := fmt.Sprintf("  |F_i| = %d", b.scaled(f))
+		srt := b.run(label, "SRT", "stps", b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", "stps", b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, b.vorCell(srt), b.vorCell(ir2))
 	}
 }
 
@@ -289,9 +304,10 @@ func (b *bench) fig13b() {
 	for _, o := range cardinalities {
 		ds := b.synthetic(b.scaled(o), b.scaled(defFeatures), defSets, defVocab)
 		qs := ds.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(ds), ds, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(ds), ds, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  |O| = %d", b.scaled(o)), b.vorCell(srt), b.vorCell(ir2))
+		label := fmt.Sprintf("  |O| = %d", b.scaled(o))
+		srt := b.run(label, "SRT", "stps", b.engine(dsKeyOf(ds), ds, index.SRT), qs)
+		ir2 := b.run(label, "IR2", "stps", b.engine(dsKeyOf(ds), ds, index.IR2), qs)
+		line(label, b.vorCell(srt), b.vorCell(ir2))
 	}
 }
 
@@ -310,17 +326,19 @@ func (b *bench) fig14() {
 		qc := b.defaultQC(core.NearestNeighborScore)
 		qc.K = k
 		qs := real.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(real), real, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(real), real, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  k = %d", k), b.vorCell(srt), b.vorCell(ir2))
+		label := fmt.Sprintf("  k = %d", k)
+		srt := b.run(label+" (real)", "SRT", "stps", b.engine(dsKeyOf(real), real, index.SRT), qs)
+		ir2 := b.run(label+" (real)", "IR2", "stps", b.engine(dsKeyOf(real), real, index.IR2), qs)
+		line(label, b.vorCell(srt), b.vorCell(ir2))
 	}
 	line("(b) synthetic dataset", "SRT", "IR2")
 	for _, k := range ks {
 		qc := b.defaultQC(core.NearestNeighborScore)
 		qc.K = k
 		qs := syn.GenQueries(nq, qc)
-		srt := run(b.engine(dsKeyOf(syn), syn, index.SRT), "stps", qs)
-		ir2 := run(b.engine(dsKeyOf(syn), syn, index.IR2), "stps", qs)
-		line(fmt.Sprintf("  k = %d", k), b.vorCell(srt), b.vorCell(ir2))
+		label := fmt.Sprintf("  k = %d", k)
+		srt := b.run(label+" (synthetic)", "SRT", "stps", b.engine(dsKeyOf(syn), syn, index.SRT), qs)
+		ir2 := b.run(label+" (synthetic)", "IR2", "stps", b.engine(dsKeyOf(syn), syn, index.IR2), qs)
+		line(label, b.vorCell(srt), b.vorCell(ir2))
 	}
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -50,10 +51,17 @@ type bench struct {
 	seed          int64
 	cost          storage.CostModel
 	buffer        int
+	jsonPath      string // -json: machine-readable records destination
 
+	curExp   string // experiment currently running (stamps Records)
+	records  []Record
 	datasets map[string]*datagen.Dataset
 	engines  map[string]*core.Engine
 }
+
+// out buffers the report; header and line flush it so progress appears one
+// row at a time even when stdout is redirected to a file.
+var out = bufio.NewWriter(os.Stdout)
 
 func main() {
 	log.SetFlags(0)
@@ -66,6 +74,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		iocost  = flag.Duration("iocost", 100*time.Microsecond, "modeled cost per physical page read")
 		buffer  = flag.Int("buffer", 256, "buffer pool pages per index")
+		jsonOut = flag.String("json", "", "also write per-datapoint records (quantiles + phase breakdown) to this file")
 	)
 	flag.Parse()
 
@@ -76,6 +85,7 @@ func main() {
 		seed:          *seed,
 		cost:          storage.CostModel{PerPage: *iocost},
 		buffer:        *buffer,
+		jsonPath:      *jsonOut,
 		datasets:      make(map[string]*datagen.Dataset),
 		engines:       make(map[string]*core.Engine),
 	}
@@ -97,18 +107,29 @@ func main() {
 	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
 
 	start := time.Now()
+	runExp := func(name string) {
+		b.curExp = name
+		all[name]()
+	}
 	if *exp == "all" {
 		for _, name := range order {
-			all[name]()
+			runExp(name)
 		}
-	} else if fn, ok := all[*exp]; ok {
-		fn()
+	} else if _, ok := all[*exp]; ok {
+		runExp(*exp)
 	} else {
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
-	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(out, "\ntotal harness time: %v\n", time.Since(start).Round(time.Second))
+	out.Flush()
+	if b.jsonPath != "" {
+		if err := writeRecords(b.jsonPath, b.records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d records to %s", len(b.records), b.jsonPath)
+	}
 }
 
 // scaled applies the -scale factor with a floor.
@@ -172,7 +193,13 @@ func (b *bench) engine(dsKey string, ds *datagen.Dataset, kind index.Kind) *core
 			log.Fatal(err)
 		}
 	}
-	e, err := core.NewEngine(oidx, fidxs, core.Options{BatchSTDS: true, CostModel: b.cost})
+	// Tracing is only paid for when records are collected: the per-phase
+	// breakdown in each Record comes from the query span trees.
+	e, err := core.NewEngine(oidx, fidxs, core.Options{
+		BatchSTDS: true,
+		CostModel: b.cost,
+		Trace:     b.jsonPath != "",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -185,9 +212,12 @@ func dsKeyOf(ds *datagen.Dataset) string {
 	return fmt.Sprintf("%p", ds)
 }
 
-// run executes the workload and returns per-query average stats.
-func run(e *core.Engine, alg string, qs []core.Query) core.Stats {
+// run executes the workload and returns per-query average stats. With
+// -json it additionally appends a Record (quantiles and phase breakdown)
+// labeled with the current experiment, the sweep row and the index kind.
+func (b *bench) run(label, idx, alg string, e *core.Engine, qs []core.Query) core.Stats {
 	var acc core.Stats
+	per := make([]core.Stats, 0, len(qs))
 	for _, q := range qs {
 		var (
 			st  core.Stats
@@ -202,6 +232,10 @@ func run(e *core.Engine, alg string, qs []core.Query) core.Stats {
 			log.Fatal(err)
 		}
 		acc.Add(st)
+		per = append(per, st)
+	}
+	if b.jsonPath != "" {
+		b.records = append(b.records, newRecord(b.curExp, strings.TrimSpace(label), idx, alg, qs, per))
 	}
 	return acc.Scale(len(qs))
 }
@@ -224,10 +258,13 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // header prints a section header.
 func header(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
+	fmt.Fprintf(out, "\n=== %s ===\n", title)
+	out.Flush()
 }
 
-// line prints one sweep row.
+// line prints one sweep row and flushes, so long sweeps report
+// incrementally.
 func line(label string, cols ...string) {
-	fmt.Printf("%-28s %s\n", label, strings.Join(cols, "  "))
+	fmt.Fprintf(out, "%-28s %s\n", label, strings.Join(cols, "  "))
+	out.Flush()
 }

@@ -12,7 +12,9 @@ import (
 )
 
 func main() {
-	db := stpq.New(stpq.Config{})
+	// Tracing records a span tree per query (phase timings and page-read
+	// deltas); it is off by default and costs one nil check when off.
+	db := stpq.New(stpq.Config{Tracing: true})
 
 	// Data objects: the entities we rank (coordinates in [0,1]²).
 	db.AddObjects([]stpq.Object{
@@ -51,4 +53,14 @@ func main() {
 	}
 	fmt.Printf("(answered with %d page reads, %v CPU)\n",
 		stats.LogicalReads, stats.CPUTime.Round(1000))
+
+	// The trace breaks the query down by phase. Print one level: the query
+	// root and its direct children.
+	if root := stats.Trace; root != nil {
+		fmt.Printf("phases of %s (%v, %d/%d logical/physical reads):\n",
+			root.Name, root.Duration.Round(1000), root.LogicalReads, root.PhysicalReads)
+		for _, child := range root.Children {
+			fmt.Printf("  %-18s ×%-4d %v\n", child.Name, child.Count, child.Duration.Round(1000))
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"stpq/internal/geo"
+	"stpq/internal/obs"
 )
 
 // combination is a valid combination C = {t_1, ..., t_c} of feature
@@ -32,6 +33,7 @@ type combinationStream struct {
 	q       *Query
 	streams []*featureStream
 	stats   *Stats
+	tr      *obs.Trace // nil when tracing is off
 
 	// pairFilter enables the validity constraint dist(t_i,t_j) ≤ 2r of
 	// Definition 4 (range variant only; influence and NN variants use the
@@ -66,7 +68,7 @@ type vecEntry struct {
 
 // newCombinationStream builds the stream for a query against the engine's
 // feature indexes.
-func newCombinationStream(e *Engine, q *Query, pairFilter bool, stats *Stats) (*combinationStream, error) {
+func newCombinationStream(e *Engine, q *Query, pairFilter bool, stats *Stats, tr *obs.Trace) (*combinationStream, error) {
 	c := len(e.features)
 	eager := pairFilter
 	switch e.opts.Combinations {
@@ -79,6 +81,7 @@ func newCombinationStream(e *Engine, q *Query, pairFilter bool, stats *Stats) (*
 		q:          q,
 		streams:    make([]*featureStream, c),
 		stats:      stats,
+		tr:         tr,
 		pairFilter: pairFilter,
 		pull:       e.opts.Pull,
 		eager:      eager,
@@ -250,7 +253,9 @@ func (cs *combinationStream) pullNext() error {
 	if i < 0 {
 		return nil
 	}
+	sp := cs.tr.StartPhase("features.pull")
 	ref, done, err := cs.streams[i].next()
+	sp.End()
 	if err != nil {
 		return err
 	}

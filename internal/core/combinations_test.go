@@ -13,7 +13,7 @@ import (
 func drainCombinations(t *testing.T, w *testWorld, q Query, pairFilter bool, limit int) []combination {
 	t.Helper()
 	var stats Stats
-	cs, err := newCombinationStream(w.engine, &q, pairFilter, &stats)
+	cs, err := newCombinationStream(w.engine, &q, pairFilter, &stats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestCombinationStreamExhaustiveProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
 		q := w.randQuery(rng, 2, InfluenceScore)
 		var stats Stats
-		cs, err := newCombinationStream(w.engine, &q, false, &stats)
+		cs, err := newCombinationStream(w.engine, &q, false, &stats, nil)
 		if err != nil {
 			return false
 		}
@@ -314,14 +314,14 @@ func TestCombinationModeDispatch(t *testing.T) {
 	w := buildWorld(t, 320, 30, 40, 2, 8, index.SRT, Options{})
 	var stats Stats
 	q := w.randQuery(rand.New(rand.NewSource(321)), 2, RangeScore)
-	cs, err := newCombinationStream(w.engine, &q, true, &stats)
+	cs, err := newCombinationStream(w.engine, &q, true, &stats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !cs.eager || cs.grids == nil {
 		t.Error("range variant should default to grid-accelerated eager")
 	}
-	cs, err = newCombinationStream(w.engine, &q, false, &stats)
+	cs, err = newCombinationStream(w.engine, &q, false, &stats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestCombinationModeDispatch(t *testing.T) {
 		t.Error("unfiltered stream should default to lazy")
 	}
 	wLazy := buildWorld(t, 320, 30, 40, 2, 8, index.SRT, Options{Combinations: CombinationsLazy})
-	cs, err = newCombinationStream(wLazy.engine, &q, true, &stats)
+	cs, err = newCombinationStream(wLazy.engine, &q, true, &stats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestCombinationModeDispatch(t *testing.T) {
 		t.Error("explicit lazy must override the range default")
 	}
 	wEager := buildWorld(t, 320, 30, 40, 2, 8, index.SRT, Options{Combinations: CombinationsEager})
-	cs, err = newCombinationStream(wEager.engine, &q, false, &stats)
+	cs, err = newCombinationStream(wEager.engine, &q, false, &stats, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"stpq/internal/geo"
 	"stpq/internal/index"
 	"stpq/internal/kwset"
+	"stpq/internal/obs"
 	"stpq/internal/storage"
 )
 
@@ -122,6 +123,10 @@ type Stats struct {
 	// ObjectsScored counts data objects whose score was computed (STDS)
 	// or retrieved (STPS).
 	ObjectsScored int
+	// Trace is the query's span tree when tracing is enabled
+	// (Options.Trace), nil otherwise. The root span covers the whole
+	// query; its page-read deltas equal LogicalReads/PhysicalReads.
+	Trace *obs.Span
 }
 
 // Total returns CPU plus modeled I/O time — the paper's bar height.
@@ -233,6 +238,14 @@ type Options struct {
 	CacheVoronoiCells bool
 	// CostModel converts physical reads to modeled I/O time.
 	CostModel storage.CostModel
+	// Trace collects a phase-level span tree into Stats.Trace for every
+	// query. The disabled path costs one nil check per instrumentation
+	// point.
+	Trace bool
+	// Metrics, when non-nil, receives aggregate query metrics (latency
+	// and page-read histograms, per-algorithm counters) suitable for
+	// scraping.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset options.
@@ -325,6 +338,54 @@ func (e *Engine) finishStats(st *Stats, before storage.Stats, start time.Time) {
 	st.PhysicalReads = diff.PhysicalReads
 	st.IOTime = e.opts.CostModel.IOTime(diff.PhysicalReads)
 	st.CPUTime = time.Since(start)
+}
+
+// SetTrace toggles per-query tracing after construction (used by CLIs on
+// opened databases).
+func (e *Engine) SetTrace(on bool) { e.opts.Trace = on }
+
+// newTrace opens a span trace for one query, or returns the nil (no-op)
+// tracer when tracing is off. The read source diffs the engine-wide pool
+// counters, so span deltas line up exactly with Stats.
+func (e *Engine) newTrace(name string) *obs.Trace {
+	if !e.opts.Trace {
+		return nil
+	}
+	return obs.NewTrace(name, func() (int64, int64) {
+		s := e.snapshotReads()
+		return s.LogicalReads, s.PhysicalReads
+	})
+}
+
+// finishTrace closes the trace, annotates the root span with the query's
+// logical counters and stores it in stats. It must run immediately before
+// finishStats: no page is read between the two calls, so the root span's
+// read deltas equal the Stats counters.
+func finishTrace(tr *obs.Trace, stats *Stats) {
+	if tr == nil {
+		return
+	}
+	root := tr.Finish()
+	root.Add("combinations", int64(stats.Combinations))
+	root.Add("features_pulled", int64(stats.FeaturesPulled))
+	root.Add("objects_scored", int64(stats.ObjectsScored))
+	stats.Trace = root
+}
+
+// observeQuery feeds one finished query into the metrics registry.
+func (e *Engine) observeQuery(alg string, q *Query, st *Stats) {
+	r := e.opts.Metrics
+	if r == nil {
+		return
+	}
+	label := `{alg="` + alg + `",variant="` + q.Variant.String() + `"}`
+	r.Counter("stpq_queries_total" + label).Inc()
+	r.Histogram("stpq_query_seconds"+label, obs.LatencyBuckets).Observe(st.Total().Seconds())
+	r.Histogram("stpq_query_cpu_seconds"+label, obs.LatencyBuckets).Observe(st.CPUTime.Seconds())
+	r.Histogram("stpq_query_physical_reads"+label, obs.ReadBuckets).Observe(float64(st.PhysicalReads))
+	r.Counter("stpq_combinations_total" + label).Add(int64(st.Combinations))
+	r.Counter("stpq_features_pulled_total" + label).Add(int64(st.FeaturesPulled))
+	r.Counter("stpq_objects_scored_total" + label).Add(int64(st.ObjectsScored))
 }
 
 // virtualScore is the score of the virtual feature ∅ (paper Section 6.1).

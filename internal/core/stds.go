@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"stpq/internal/geo"
+	"stpq/internal/obs"
 	"stpq/internal/rtree"
 )
 
@@ -23,20 +24,23 @@ func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
 	}
 	var stats Stats
 	before := e.snapshotReads()
+	tr := e.newTrace("stds." + q.Variant.String())
 	start := time.Now()
 	var (
 		results []Result
 		err     error
 	)
 	if q.Variant == RangeScore && e.opts.BatchSTDS {
-		results, err = e.stdsBatch(&q, &stats)
+		results, err = e.stdsBatch(&q, &stats, tr)
 	} else {
-		results, err = e.stdsSingle(&q, &stats)
+		results, err = e.stdsSingle(&q, &stats, tr)
 	}
+	finishTrace(tr, &stats)
 	e.finishStats(&stats, before, start)
 	if err != nil {
 		return nil, stats, err
 	}
+	e.observeQuery("stds", &q, &stats)
 	sortResults(results)
 	return results, stats, nil
 }
@@ -97,10 +101,12 @@ func (h *resultMinHeap) Pop() interface{} {
 // stdsSingle is the literal Algorithm 1: one object at a time, one
 // computeScore (Algorithm 2) call per feature set, with the τ̂ early
 // termination between sets.
-func (e *Engine) stdsSingle(q *Query, stats *Stats) ([]Result, error) {
+func (e *Engine) stdsSingle(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
 	acc := newTopkAccumulator(q.K)
 	c := len(e.features)
+	sp := tr.StartPhase("objects.scan")
 	objs, err := e.objects.Tree().All()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +120,9 @@ func (e *Engine) stdsSingle(q *Query, stats *Stats) ([]Result, error) {
 				complete = false
 				break
 			}
+			sp := tr.StartPhase("index.descend")
 			ti, err := e.computeScore(i, q, obj.Point())
+			sp.End()
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"stpq/internal/geo"
+	"stpq/internal/obs"
 	"stpq/internal/rtree"
 )
 
@@ -15,7 +16,7 @@ import (
 // unresolved object of the batch; when a feature object is popped, every
 // batch object within distance r takes its score (the maximum, because
 // features arrive in non-increasing s(t)) and leaves the batch.
-func (e *Engine) stdsBatch(q *Query, stats *Stats) ([]Result, error) {
+func (e *Engine) stdsBatch(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
 	acc := newTopkAccumulator(q.K)
 	c := len(e.features)
 	var walkErr error
@@ -27,7 +28,10 @@ func (e *Engine) stdsBatch(q *Query, stats *Stats) ([]Result, error) {
 		}
 		active := objs
 		for set := 0; set < c && len(active) > 0; set++ {
-			if err := e.batchRangeScores(set, q, active); err != nil {
+			sp := tr.StartPhase("index.descend")
+			err := e.batchRangeScores(set, q, active)
+			sp.End()
+			if err != nil {
 				walkErr = err
 				return false
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stpq/internal/geo"
+	"stpq/internal/obs"
 	"stpq/internal/rtree"
 	"stpq/internal/voronoi"
 )
@@ -21,6 +22,7 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	}
 	var stats Stats
 	before := e.snapshotReads()
+	tr := e.newTrace("stps." + q.Variant.String())
 	start := time.Now()
 	var (
 		results []Result
@@ -28,16 +30,18 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	)
 	switch q.Variant {
 	case RangeScore:
-		results, err = e.stpsRange(&q, &stats)
+		results, err = e.stpsRange(&q, &stats, tr)
 	case InfluenceScore:
-		results, err = e.stpsInfluence(&q, &stats)
+		results, err = e.stpsInfluence(&q, &stats, tr)
 	case NearestNeighborScore:
-		results, err = e.stpsNearestNeighbor(&q, &stats)
+		results, err = e.stpsNearestNeighbor(&q, &stats, tr)
 	}
+	finishTrace(tr, &stats)
 	e.finishStats(&stats, before, start)
 	if err != nil {
 		return nil, stats, err
 	}
+	e.observeQuery("stps", &q, &stats)
 	sortResults(results)
 	return results, stats, nil
 }
@@ -57,15 +61,17 @@ func sortResults(rs []Result) {
 // score; every not-yet-seen data object within distance r of all feature
 // objects of the combination has exactly that combination's score
 // (Lemma 1), so results stream out in final order.
-func (e *Engine) stpsRange(q *Query, stats *Stats) ([]Result, error) {
-	cs, err := newCombinationStream(e, q, true, stats)
+func (e *Engine) stpsRange(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
+	cs, err := newCombinationStream(e, q, true, stats, tr)
 	if err != nil {
 		return nil, err
 	}
 	seen := make(map[int64]bool)
 	results := make([]Result, 0, q.K)
 	for len(results) < q.K {
+		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -73,6 +79,7 @@ func (e *Engine) stpsRange(q *Query, stats *Stats) ([]Result, error) {
 			break
 		}
 		limit := q.K - len(results)
+		sp = tr.StartPhase("objects.retrieve")
 		err = e.objectsMatchingRangeCombo(comb, q.Radius, func(entry rtree.Entry) bool {
 			if seen[entry.ItemID] {
 				return true
@@ -83,6 +90,7 @@ func (e *Engine) stpsRange(q *Query, stats *Stats) ([]Result, error) {
 			limit--
 			return limit > 0
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -124,14 +132,16 @@ func (e *Engine) objectsMatchingRangeCombo(comb combination, r float64, fn func(
 // s(C), which upper-bounds the influence score of any object under any
 // unseen combination (the score at distance 0), so the loop stops once
 // s(C) no longer exceeds the current k-th object score.
-func (e *Engine) stpsInfluence(q *Query, stats *Stats) ([]Result, error) {
-	cs, err := newCombinationStream(e, q, false, stats)
+func (e *Engine) stpsInfluence(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
+	cs, err := newCombinationStream(e, q, false, stats, tr)
 	if err != nil {
 		return nil, err
 	}
 	acc := newInfluenceTopK(q.K)
 	for {
+		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -149,11 +159,13 @@ func (e *Engine) stpsInfluence(q *Query, stats *Stats) ([]Result, error) {
 		if acc.full() && comboInfluenceBound(comb, q.Radius) <= acc.threshold() {
 			continue
 		}
+		sp = tr.StartPhase("objects.retrieve")
 		err = e.topKInfluence(comb, q, acc.threshold(), func(id int64, loc geo.Point, score float64) {
 			if acc.offer(id, loc, score) {
 				stats.ObjectsScored++
 			}
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -317,8 +329,8 @@ func (e *Engine) topKInfluence(comb combination, q *Query, tau float64, emit fun
 // cells of its feature objects; data objects inside it have exactly the
 // combination's score. Cells are built incrementally and the combination
 // is discarded as soon as the intersection becomes empty.
-func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats) ([]Result, error) {
-	cs, err := newCombinationStream(e, q, false, stats)
+func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
+	cs, err := newCombinationStream(e, q, false, stats, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +342,9 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats) ([]Result, error) {
 	}
 	radii := make(map[cellKey]float64)
 	for len(results) < q.K {
+		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -340,7 +354,9 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats) ([]Result, error) {
 		if comboCellsDisjoint(comb, radii) {
 			continue
 		}
+		sp = tr.StartPhase("voronoi.build")
 		region, err := e.comboRegion(comb, cellCache, radii, stats)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -348,6 +364,7 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats) ([]Result, error) {
 			continue
 		}
 		limit := q.K - len(results)
+		sp = tr.StartPhase("objects.retrieve")
 		err = e.objects.Tree().SearchPolygon(region, func(entry rtree.Entry) bool {
 			if seen[entry.ItemID] {
 				return true
@@ -358,6 +375,7 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats) ([]Result, error) {
 			limit--
 			return limit > 0
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -26,6 +26,7 @@ import (
 	"stpq/internal/geo"
 	"stpq/internal/hilbert"
 	"stpq/internal/kwset"
+	"stpq/internal/obs"
 	"stpq/internal/rtree"
 	"stpq/internal/storage"
 )
@@ -233,6 +234,16 @@ func (x *FeatureIndex) ResetStats() {
 	}
 }
 
+// AttachMetrics aggregates the index's buffer-pool counters (and, in
+// signature mode, the record file's) into the registry under the given
+// pool name.
+func (x *FeatureIndex) AttachMetrics(r *obs.Registry, pool string) {
+	x.tree.Pool().SetMetrics(storage.NewPoolMetrics(r, pool))
+	if x.records != nil {
+		x.records.pool.SetMetrics(storage.NewPoolMetrics(r, pool+"_records"))
+	}
+}
+
 // QueryKeywords is the per-feature-set textual part of a query: the
 // keyword set W_i, the smoothing parameter λ shared by all sets, and the
 // similarity measure (zero value = Jaccard, the paper's default).
@@ -311,3 +322,9 @@ func (x *ObjectIndex) Stats() storage.Stats { return x.tree.Pool().Stats() }
 
 // ResetStats zeroes the I/O counters.
 func (x *ObjectIndex) ResetStats() { x.tree.Pool().ResetStats() }
+
+// AttachMetrics aggregates the index's buffer-pool counters into the
+// registry under the given pool name.
+func (x *ObjectIndex) AttachMetrics(r *obs.Registry, pool string) {
+	x.tree.Pool().SetMetrics(storage.NewPoolMetrics(r, pool))
+}

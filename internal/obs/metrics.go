@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observations are counted into
+// the first bucket whose upper bound is ≥ the value, with an implicit +Inf
+// overflow bucket. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets are the default upper bounds for latency histograms, in
+// seconds (sub-millisecond up to 10s — index queries span this range).
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ReadBuckets are the default upper bounds for page-read histograms.
+var ReadBuckets = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Registry is a named collection of metrics. Instruments are created on
+// first use and live for the registry's lifetime. Metric names may carry
+// Prometheus-style labels inline, e.g.
+//
+//	stpq_bufferpool_hits_total{pool="objects"}
+//
+// which the Prometheus exporter splits into base name and label set.
+// Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds if needed (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// element for the +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It
+// marshals to JSON directly and exports to Prometheus text format with
+// WritePrometheus.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies out all current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    math.Float64frombits(h.sum.Load()),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// splitName separates an inline label set from a metric name:
+// `foo{a="b"}` → base `foo`, labels `a="b"`.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel appends a label to an (possibly empty) inline label set.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, cumulative
+// histogram buckets with le labels, and _sum/_count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	emitType := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	series := func(base, labels string, v string) string {
+		if labels == "" {
+			return base + " " + v
+		}
+		return base + "{" + labels + "} " + v
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		base, labels := splitName(name)
+		if err := emitType(base, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, series(base, labels, fmt.Sprintf("%d", s.Counters[name]))); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, labels := splitName(name)
+		if err := emitType(base, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, series(base, labels, formatFloat(s.Gauges[name]))); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		base, labels := splitName(name)
+		if err := emitType(base, "histogram"); err != nil {
+			return err
+		}
+		h := s.Histograms[name]
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := withLabel(labels, fmt.Sprintf("le=%q", formatFloat(bound)))
+			if _, err := fmt.Fprintln(w, series(base+"_bucket", le, fmt.Sprintf("%d", cum))); err != nil {
+				return err
+			}
+		}
+		le := withLabel(labels, `le="+Inf"`)
+		if _, err := fmt.Fprintln(w, series(base+"_bucket", le, fmt.Sprintf("%d", h.Count))); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, series(base+"_sum", labels, formatFloat(h.Sum))); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, series(base+"_count", labels, fmt.Sprintf("%d", h.Count))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

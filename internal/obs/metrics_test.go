@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("queries_total") != c {
+		t.Error("counter lookup must return the same instrument")
+	}
+	g := r.Gauge("pool_len")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("reads", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 3, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["reads"]
+	// Buckets: ≤1, ≤10, ≤100, +Inf → per-bucket counts 2, 2, 1, 1.
+	want := []int64{2, 2, 1, 1}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Errorf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Sum != 0.5+1+3+10+11+1000 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Histogram("lat", LatencyBuckets).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["hits"] != 8000 {
+		t.Errorf("hits = %d", s.Counters["hits"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Errorf("observations = %d", s.Histograms["lat"].Count)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`hits_total{pool="objects"}`).Add(7)
+	r.Gauge("fill").Set(0.25)
+	r.Histogram("lat", []float64{0.01, 0.1}).Observe(0.05)
+	snap := r.Snapshot()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, snap)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`stpq_bufferpool_hits_total{pool="objects"}`).Add(3)
+	r.Counter(`stpq_bufferpool_hits_total{pool="restaurants"}`).Add(5)
+	r.Gauge("stpq_pool_fill").Set(0.5)
+	h := r.Histogram("stpq_query_seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE stpq_bufferpool_hits_total counter",
+		`stpq_bufferpool_hits_total{pool="objects"} 3`,
+		`stpq_bufferpool_hits_total{pool="restaurants"} 5`,
+		"# TYPE stpq_pool_fill gauge",
+		"stpq_pool_fill 0.5",
+		"# TYPE stpq_query_seconds histogram",
+		`stpq_query_seconds_bucket{le="0.01"} 1`,
+		`stpq_query_seconds_bucket{le="0.1"} 2`,
+		`stpq_query_seconds_bucket{le="+Inf"} 3`,
+		"stpq_query_seconds_sum 5.055",
+		"stpq_query_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE line for a labeled family must appear exactly once.
+	if n := strings.Count(out, "# TYPE stpq_bufferpool_hits_total counter"); n != 1 {
+		t.Errorf("TYPE line emitted %d times", n)
+	}
+	// Every non-comment line must be `name value` or `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed line %q", line)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartPhase("anything")
+	sp.End()
+	sp.Add("counter", 3)
+	if tr.Root() != nil {
+		t.Error("nil trace must have nil root")
+	}
+	if tr.Finish() != nil {
+		t.Error("Finish on nil trace must return nil")
+	}
+	if got := sp.SelfPhysicalReads(); got != 0 {
+		t.Errorf("nil span SelfPhysicalReads = %d", got)
+	}
+	if got := (*Span)(nil).String(); got != "<no trace>" {
+		t.Errorf("nil span String = %q", got)
+	}
+}
+
+func TestTracePhaseAccumulation(t *testing.T) {
+	var logical, physical int64
+	tr := NewTrace("query", func() (int64, int64) { return logical, physical })
+	for i := 0; i < 3; i++ {
+		sp := tr.StartPhase("combos.generate")
+		logical += 10
+		physical += 2
+		sp.End()
+	}
+	sp := tr.StartPhase("objects.retrieve")
+	logical += 5
+	physical += 1
+	sp.Add("objects_scored", 7)
+	sp.End()
+	root := tr.Finish()
+
+	if root.Name != "query" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children", root.Name, len(root.Children))
+	}
+	combos := root.Children[0]
+	if combos.Count != 3 {
+		t.Errorf("combos entered %d times, want 3", combos.Count)
+	}
+	if combos.LogicalReads != 30 || combos.PhysicalReads != 6 {
+		t.Errorf("combos reads = %d/%d, want 30/6", combos.LogicalReads, combos.PhysicalReads)
+	}
+	retrieve := root.Children[1]
+	if retrieve.LogicalReads != 5 || retrieve.PhysicalReads != 1 {
+		t.Errorf("retrieve reads = %d/%d", retrieve.LogicalReads, retrieve.PhysicalReads)
+	}
+	if retrieve.Counters["objects_scored"] != 7 {
+		t.Errorf("counter = %v", retrieve.Counters)
+	}
+	// Root saw everything; the self residual is zero here.
+	if root.LogicalReads != 35 || root.PhysicalReads != 7 {
+		t.Errorf("root reads = %d/%d, want 35/7", root.LogicalReads, root.PhysicalReads)
+	}
+	if root.SelfPhysicalReads() != 0 {
+		t.Errorf("root self reads = %d, want 0", root.SelfPhysicalReads())
+	}
+}
+
+func TestTraceNestedSpans(t *testing.T) {
+	var physical int64
+	tr := NewTrace("q", func() (int64, int64) { return physical, physical })
+	outer := tr.StartPhase("combos.generate")
+	inner := tr.StartPhase("features.pull")
+	physical += 4
+	inner.End()
+	physical += 1
+	outer.End()
+	root := tr.Finish()
+
+	if len(root.Children) != 1 || len(root.Children[0].Children) != 1 {
+		t.Fatalf("wrong nesting: %s", root)
+	}
+	if got := root.Children[0].PhysicalReads; got != 5 {
+		t.Errorf("outer physical = %d, want 5", got)
+	}
+	if got := root.Children[0].Children[0].PhysicalReads; got != 4 {
+		t.Errorf("inner physical = %d, want 4", got)
+	}
+	if got := root.Children[0].SelfPhysicalReads(); got != 1 {
+		t.Errorf("outer self physical = %d, want 1", got)
+	}
+}
+
+func TestTraceFinishClosesOpenSpans(t *testing.T) {
+	tr := NewTrace("q", nil)
+	tr.StartPhase("a")
+	tr.StartPhase("b") // neither ended explicitly
+	root := tr.Finish()
+	if root.Children[0].running || root.Children[0].Children[0].running {
+		t.Error("Finish left spans running")
+	}
+	root2 := tr.Finish() // idempotent
+	if root2 != root {
+		t.Error("second Finish returned a different root")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("q", nil)
+	sp := tr.StartPhase("a")
+	sp.End()
+	d := sp.Duration
+	sp.End() // second End must not change anything
+	if sp.Duration != d || sp.Count != 1 {
+		t.Error("double End changed the span")
+	}
+}
+
+func TestSpanStringAndJSON(t *testing.T) {
+	tr := NewTrace("stps.range", nil)
+	sp := tr.StartPhase("combos.generate")
+	sp.Add("combinations", 12)
+	sp.End()
+	root := tr.Finish()
+
+	s := root.String()
+	for _, want := range []string{"stps.range", "combos.generate", "combinations=12"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "stps.range" || len(back.Children) != 1 ||
+		back.Children[0].Counters["combinations"] != 12 {
+		t.Errorf("JSON round trip lost data: %s", data)
+	}
+}
+
+func TestWalkPaths(t *testing.T) {
+	tr := NewTrace("root", nil)
+	tr.StartPhase("a")
+	tr.StartPhase("b").End()
+	tr.Finish()
+	var paths []string
+	tr.Root().Walk(func(path string, _ int, _ *Span) { paths = append(paths, path) })
+	want := []string{"", "a", "a/b"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("path[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+}

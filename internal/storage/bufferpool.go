@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+
+	"stpq/internal/obs"
 )
 
 // BufferPool caches recently used pages of a Disk with an LRU eviction
@@ -16,10 +18,37 @@ type BufferPool struct {
 	disk     Disk
 	capacity int
 	stats    Stats
+	metrics  *PoolMetrics // optional aggregate metrics, nil when detached
 
 	lru     *list.List // front = most recently used; values are *frame
 	entries map[PageID]*list.Element
 }
+
+// PoolMetrics aggregates one buffer pool's counters into a metrics
+// registry. Unlike Stats — which is snapshotted and diffed around a single
+// query — these counters accumulate over the pool's lifetime and are meant
+// for scraping.
+type PoolMetrics struct {
+	Hits      *obs.Counter
+	Misses    *obs.Counter
+	Evictions *obs.Counter
+	Writes    *obs.Counter
+}
+
+// NewPoolMetrics registers the four pool counters under
+// stpq_bufferpool_*_total{pool="<name>"}.
+func NewPoolMetrics(r *obs.Registry, pool string) *PoolMetrics {
+	label := `{pool="` + pool + `"}`
+	return &PoolMetrics{
+		Hits:      r.Counter("stpq_bufferpool_hits_total" + label),
+		Misses:    r.Counter("stpq_bufferpool_misses_total" + label),
+		Evictions: r.Counter("stpq_bufferpool_evictions_total" + label),
+		Writes:    r.Counter("stpq_bufferpool_writes_total" + label),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) aggregate metrics.
+func (b *BufferPool) SetMetrics(m *PoolMetrics) { b.metrics = m }
 
 type frame struct {
 	id   PageID
@@ -56,10 +85,16 @@ func (b *BufferPool) Len() int { return b.lru.Len() }
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	b.stats.LogicalReads++
 	if el, ok := b.entries[id]; ok {
+		if b.metrics != nil {
+			b.metrics.Hits.Inc()
+		}
 		b.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
 	}
 	b.stats.PhysicalReads++
+	if b.metrics != nil {
+		b.metrics.Misses.Inc()
+	}
 	data := make([]byte, b.disk.PageSize())
 	if err := b.disk.ReadPage(id, data); err != nil {
 		return nil, fmt.Errorf("bufferpool: %w", err)
@@ -71,6 +106,9 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 // WriteThrough writes the page to disk and refreshes the cached copy.
 func (b *BufferPool) WriteThrough(id PageID, data []byte) error {
 	b.stats.Writes++
+	if b.metrics != nil {
+		b.metrics.Writes.Inc()
+	}
 	if err := b.disk.WritePage(id, data); err != nil {
 		return fmt.Errorf("bufferpool: %w", err)
 	}
@@ -95,6 +133,10 @@ func (b *BufferPool) insert(id PageID, data []byte) {
 		if back != nil {
 			b.lru.Remove(back)
 			delete(b.entries, back.Value.(*frame).id)
+			b.stats.Evictions++
+			if b.metrics != nil {
+				b.metrics.Evictions.Inc()
+			}
 		}
 	}
 	b.entries[id] = b.lru.PushFront(&frame{id: id, data: data})

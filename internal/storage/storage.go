@@ -173,11 +173,13 @@ func (d *FileDisk) Close() error { return d.f.Close() }
 
 // Stats accumulates page-access counters. Logical reads are buffer-pool
 // requests; physical reads are pool misses that went to the Disk — the
-// quantity the paper plots as I/O cost.
+// quantity the paper plots as I/O cost. Evictions count pages dropped by
+// the LRU policy to make room.
 type Stats struct {
 	LogicalReads  int64
 	PhysicalReads int64
 	Writes        int64
+	Evictions     int64
 }
 
 // Add accumulates other into s.
@@ -185,6 +187,7 @@ func (s *Stats) Add(other Stats) {
 	s.LogicalReads += other.LogicalReads
 	s.PhysicalReads += other.PhysicalReads
 	s.Writes += other.Writes
+	s.Evictions += other.Evictions
 }
 
 // Sub returns s − other, for before/after snapshots around a query.
@@ -193,7 +196,18 @@ func (s Stats) Sub(other Stats) Stats {
 		LogicalReads:  s.LogicalReads - other.LogicalReads,
 		PhysicalReads: s.PhysicalReads - other.PhysicalReads,
 		Writes:        s.Writes - other.Writes,
+		Evictions:     s.Evictions - other.Evictions,
 	}
+}
+
+// HitRatio returns the buffer-pool hit ratio: the fraction of logical
+// reads served from the cache, (logical − physical) / logical. It returns
+// 0 when no logical reads have been recorded.
+func (s Stats) HitRatio() float64 {
+	if s.LogicalReads == 0 {
+		return 0
+	}
+	return float64(s.LogicalReads-s.PhysicalReads) / float64(s.LogicalReads)
 }
 
 // CostModel converts physical page reads into modeled I/O time.

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"stpq/internal/obs"
 )
 
 func TestMemDiskRoundTrip(t *testing.T) {
@@ -252,17 +254,92 @@ func TestBufferPoolConsistencyRandomized(t *testing.T) {
 }
 
 func TestStatsArithmetic(t *testing.T) {
-	a := Stats{LogicalReads: 10, PhysicalReads: 4, Writes: 1}
-	b := Stats{LogicalReads: 3, PhysicalReads: 1, Writes: 1}
+	a := Stats{LogicalReads: 10, PhysicalReads: 4, Writes: 1, Evictions: 3}
+	b := Stats{LogicalReads: 3, PhysicalReads: 1, Writes: 1, Evictions: 2}
 	diff := a.Sub(b)
-	if diff.LogicalReads != 7 || diff.PhysicalReads != 3 || diff.Writes != 0 {
+	if diff.LogicalReads != 7 || diff.PhysicalReads != 3 || diff.Writes != 0 || diff.Evictions != 1 {
 		t.Errorf("Sub = %+v", diff)
 	}
 	var acc Stats
 	acc.Add(a)
 	acc.Add(b)
-	if acc.LogicalReads != 13 || acc.PhysicalReads != 5 || acc.Writes != 2 {
+	if acc.LogicalReads != 13 || acc.PhysicalReads != 5 || acc.Writes != 2 || acc.Evictions != 5 {
 		t.Errorf("Add = %+v", acc)
+	}
+}
+
+func TestStatsHitRatio(t *testing.T) {
+	if got := (Stats{}).HitRatio(); got != 0 {
+		t.Errorf("empty HitRatio = %v, want 0 (no division by zero)", got)
+	}
+	if got := (Stats{LogicalReads: 10, PhysicalReads: 4}).HitRatio(); got != 0.6 {
+		t.Errorf("HitRatio = %v, want 0.6", got)
+	}
+	if got := (Stats{LogicalReads: 5, PhysicalReads: 5}).HitRatio(); got != 0 {
+		t.Errorf("all-miss HitRatio = %v, want 0", got)
+	}
+	if got := (Stats{LogicalReads: 5}).HitRatio(); got != 1 {
+		t.Errorf("all-hit HitRatio = %v, want 1", got)
+	}
+}
+
+func TestBufferPoolCountsEvictions(t *testing.T) {
+	d := NewMemDisk(16)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := d.Allocate()
+		ids = append(ids, id)
+	}
+	p := NewBufferPool(d, 2)
+	for _, id := range ids { // 4 misses into a 2-page pool → 2 evictions
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Stats().Evictions; got != 2 {
+		t.Errorf("Evictions = %d, want 2", got)
+	}
+	// Hits do not evict.
+	if _, err := p.Get(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Evictions; got != 2 {
+		t.Errorf("Evictions after hit = %d, want 2", got)
+	}
+}
+
+func TestBufferPoolMetrics(t *testing.T) {
+	d := NewMemDisk(16)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := d.Allocate()
+		ids = append(ids, id)
+	}
+	reg := obs.NewRegistry()
+	p := NewBufferPool(d, 2)
+	p.SetMetrics(NewPoolMetrics(reg, "objects"))
+	_, _ = p.Get(ids[0]) // miss
+	_, _ = p.Get(ids[0]) // hit
+	_, _ = p.Get(ids[1]) // miss
+	_, _ = p.Get(ids[2]) // miss + eviction
+	_ = p.WriteThrough(ids[2], []byte{1})
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		`stpq_bufferpool_hits_total{pool="objects"}`:      1,
+		`stpq_bufferpool_misses_total{pool="objects"}`:    3,
+		`stpq_bufferpool_evictions_total{pool="objects"}`: 1,
+		`stpq_bufferpool_writes_total{pool="objects"}`:    1,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Metrics accumulate across ResetStats (lifetime vs. per-query).
+	p.ResetStats()
+	if got := reg.Snapshot().Counters[`stpq_bufferpool_misses_total{pool="objects"}`]; got != 3 {
+		t.Errorf("metrics reset by ResetStats: %d", got)
 	}
 }
 

@@ -1,0 +1,164 @@
+package stpq
+
+// obs.go is the public observability surface of a DB: per-query span
+// traces (Config.Tracing / Stats.Trace) and the aggregate metrics registry
+// (DB.Metrics / DB.WriteMetricsPrometheus).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"stpq/internal/obs"
+)
+
+// Span is one node of a query trace: a named phase with its accumulated
+// wall time, the page reads observed while it was open (including its
+// children's), optional counters and child phases. Traces are collected
+// when Config.Tracing is on (or after DB.SetTracing) and returned in
+// Stats.Trace; the root span covers the whole query, so its read deltas
+// equal Stats.LogicalReads/PhysicalReads.
+type Span struct {
+	Name string `json:"name"`
+	// Count is the number of times the phase was entered (STPS re-enters
+	// its phases once per combination).
+	Count         int              `json:"count"`
+	Duration      time.Duration    `json:"duration_ns"`
+	LogicalReads  int64            `json:"logical_reads"`
+	PhysicalReads int64            `json:"physical_reads"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+	Children      []*Span          `json:"children,omitempty"`
+}
+
+// fromObsSpan deep-copies an internal span tree into the public type.
+func fromObsSpan(s *obs.Span) *Span {
+	if s == nil {
+		return nil
+	}
+	out := &Span{
+		Name:          s.Name,
+		Count:         s.Count,
+		Duration:      s.Duration,
+		LogicalReads:  s.LogicalReads,
+		PhysicalReads: s.PhysicalReads,
+	}
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, fromObsSpan(c))
+	}
+	return out
+}
+
+// Walk visits the span and its descendants depth-first.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	var rec func(depth int, sp *Span)
+	rec = func(depth int, sp *Span) {
+		fn(depth, sp)
+		for _, c := range sp.Children {
+			rec(depth+1, c)
+		}
+	}
+	rec(0, s)
+}
+
+// String renders the span tree, one line per span.
+func (s *Span) String() string {
+	if s == nil {
+		return "<no trace>"
+	}
+	var b strings.Builder
+	s.Walk(func(depth int, sp *Span) {
+		fmt.Fprintf(&b, "%s%-*s ×%-5d %9s  %d/%d reads",
+			strings.Repeat("  ", depth), 28-2*depth, sp.Name, sp.Count,
+			sp.Duration.Round(time.Microsecond), sp.LogicalReads, sp.PhysicalReads)
+		if len(sp.Counters) > 0 {
+			keys := make([]string, 0, len(sp.Counters))
+			for k := range sp.Counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %s=%d", k, sp.Counters[k])
+			}
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// HistogramSnapshot is the state of one latency or page-read histogram.
+// Bounds are the bucket upper bounds; Counts has one extra trailing element
+// for the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the DB's metrics: buffer-pool
+// counters per index and per-query latency/page-read histograms per
+// algorithm and variant. It marshals to JSON directly; for Prometheus text
+// format use DB.WriteMetricsPrometheus.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// fromObsSnapshot copies an internal snapshot into the public type.
+func fromObsSnapshot(s obs.Snapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, h := range s.Histograms {
+		out.Histograms[k] = HistogramSnapshot{Bounds: h.Bounds, Counts: h.Counts, Count: h.Count, Sum: h.Sum}
+	}
+	return out
+}
+
+// Metrics returns a snapshot of the DB's aggregate metrics. Unlike Stats —
+// which describes one query — these accumulate over the DB's lifetime.
+func (db *DB) Metrics() MetricsSnapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return fromObsSnapshot(db.metrics.Snapshot())
+}
+
+// WriteMetricsPrometheus writes the current metrics in Prometheus text
+// exposition format, suitable for a /metrics scrape handler.
+func (db *DB) WriteMetricsPrometheus(w io.Writer) error {
+	db.mu.Lock()
+	snap := db.metrics.Snapshot()
+	db.mu.Unlock()
+	return snap.WritePrometheus(w)
+}
+
+// SetTracing toggles per-query trace collection on a built DB (Config.
+// Tracing sets the initial state; Open restores the saved one).
+func (db *DB) SetTracing(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.engine != nil {
+		db.engine.SetTrace(on)
+	}
+	db.cfg.Tracing = on
+}

@@ -10,7 +10,6 @@ import (
 
 	"stpq/internal/core"
 	"stpq/internal/index"
-	"stpq/internal/storage"
 )
 
 // dbManifest is the on-disk description of a saved DB.
@@ -125,18 +124,11 @@ func Open(dir string) (*DB, error) {
 			return nil, err
 		}
 	}
-	coreOpts := core.Options{BatchSTDS: !man.Config.DisableBatchSTDS}
-	if man.Config.LazyCombinations {
-		coreOpts.Combinations = core.CombinationsLazy
+	oidx.AttachMetrics(db.metrics, "objects")
+	for i, name := range man.SetNames {
+		fidxs[i].AttachMetrics(db.metrics, poolLabel(name))
 	}
-	if man.Config.RoundRobinPulling {
-		coreOpts.Pull = core.PullRoundRobin
-	}
-	if man.Config.IOCostPerPage > 0 {
-		coreOpts.CostModel = storage.CostModel{PerPage: man.Config.IOCostPerPage}
-	}
-	coreOpts.CacheVoronoiCells = man.Config.CacheVoronoiCells
-	db.engine, err = core.NewEngine(oidx, fidxs, coreOpts)
+	db.engine, err = core.NewEngine(oidx, fidxs, man.Config.coreOptions(db.metrics))
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"stpq/internal/index"
 	"stpq/internal/invindex"
 	"stpq/internal/kwset"
+	"stpq/internal/obs"
 	"stpq/internal/storage"
 )
 
@@ -144,6 +146,11 @@ type Config struct {
 	// signature files with verification reads against a record file).
 	// 0 keeps exact bitmaps. Results are identical either way.
 	SignatureBits int
+	// Tracing collects a span tree (Stats.Trace) for every query: named
+	// phases with wall time and page-read deltas. Off by default; the
+	// disabled path costs one nil check per instrumentation point. Can be
+	// toggled later with DB.SetTracing.
+	Tracing bool
 }
 
 // Query is a top-k spatio-textual preference query.
@@ -188,6 +195,9 @@ type Stats struct {
 	Combinations   int
 	FeaturesPulled int
 	ObjectsScored  int
+	// Trace is the query's phase breakdown when tracing is enabled
+	// (Config.Tracing or DB.SetTracing), nil otherwise.
+	Trace *Span
 }
 
 // Total returns CPU plus modeled I/O time.
@@ -208,13 +218,19 @@ type DB struct {
 	setNames []string
 	sets     map[string][]Feature
 	engine   *core.Engine
+	metrics  *obs.Registry
 	inverted map[string]*invindex.Index
 	built    bool
 }
 
 // New creates an empty DB.
 func New(cfg Config) *DB {
-	return &DB{cfg: cfg, vocab: kwset.NewVocabulary(), sets: make(map[string][]Feature)}
+	return &DB{
+		cfg:     cfg,
+		vocab:   kwset.NewVocabulary(),
+		sets:    make(map[string][]Feature),
+		metrics: obs.NewRegistry(),
+	}
 }
 
 // AddObjects appends data objects. Must be called before Build.
@@ -301,25 +317,55 @@ func (db *DB) Build() error {
 			return fmt.Errorf("stpq: building feature index %q: %w", name, err)
 		}
 	}
-	coreOpts := core.Options{
-		BatchSTDS: !db.cfg.DisableBatchSTDS,
+	oidx.AttachMetrics(db.metrics, "objects")
+	for i, name := range db.setNames {
+		fidxs[i].AttachMetrics(db.metrics, poolLabel(name))
 	}
-	coreOpts.CacheVoronoiCells = db.cfg.CacheVoronoiCells
-	if db.cfg.LazyCombinations {
-		coreOpts.Combinations = core.CombinationsLazy
-	}
-	if db.cfg.RoundRobinPulling {
-		coreOpts.Pull = core.PullRoundRobin
-	}
-	if db.cfg.IOCostPerPage > 0 {
-		coreOpts.CostModel = storage.CostModel{PerPage: db.cfg.IOCostPerPage}
-	}
-	db.engine, err = core.NewEngine(oidx, fidxs, coreOpts)
+	db.engine, err = core.NewEngine(oidx, fidxs, db.cfg.coreOptions(db.metrics))
 	if err != nil {
 		return err
 	}
 	db.built = true
 	return nil
+}
+
+// coreOptions lowers the public config (plus the DB's metrics registry)
+// into engine options.
+func (cfg Config) coreOptions(metrics *obs.Registry) core.Options {
+	opts := core.Options{
+		BatchSTDS:         !cfg.DisableBatchSTDS,
+		CacheVoronoiCells: cfg.CacheVoronoiCells,
+		Trace:             cfg.Tracing,
+		Metrics:           metrics,
+	}
+	if cfg.LazyCombinations {
+		opts.Combinations = core.CombinationsLazy
+	}
+	if cfg.RoundRobinPulling {
+		opts.Pull = core.PullRoundRobin
+	}
+	if cfg.IOCostPerPage > 0 {
+		opts.CostModel = storage.CostModel{PerPage: cfg.IOCostPerPage}
+	}
+	return opts
+}
+
+// poolLabel sanitizes a feature-set name into a Prometheus label value.
+func poolLabel(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "set"
+	}
+	return b.String()
 }
 
 // TopK runs the query and returns the k best objects with execution
@@ -470,5 +516,6 @@ func fromCoreStats(st core.Stats) Stats {
 		Combinations:   st.Combinations,
 		FeaturesPulled: st.FeaturesPulled,
 		ObjectsScored:  st.ObjectsScored,
+		Trace:          fromObsSpan(st.Trace),
 	}
 }
