@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke check
+.PHONY: build test race vet bench-smoke serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,23 @@ vet:
 # benchmark harness without the cost of a full sweep.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkFig7/a_features=10000' -benchtime 1x .
+
+# End-to-end daemon smoke test: start stpqd on a small synthetic dataset,
+# wait for /healthz, fire a short stpqload run, then shut down gracefully.
+SMOKE_ADDR ?= 127.0.0.1:18321
+serve-smoke:
+	$(GO) build -o /tmp/stpqd-smoke ./cmd/stpqd
+	$(GO) build -o /tmp/stpqload-smoke ./cmd/stpqload
+	/tmp/stpqd-smoke -synthetic -objects 2000 -features 2000 -addr $(SMOKE_ADDR) & \
+	pid=$$!; \
+	trap 'kill -INT $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://$(SMOKE_ADDR)/healthz && \
+	/tmp/stpqload-smoke -addr http://$(SMOKE_ADDR) -c 2 -n 50 -k 5 && \
+	curl -fsS http://$(SMOKE_ADDR)/metrics | grep -q stpq_serve_queries_total && \
+	kill -INT $$pid && wait $$pid
 
 check: build vet test race

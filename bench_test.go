@@ -615,3 +615,38 @@ func BenchmarkAblationSignature(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkConcurrentTopK measures parallel query throughput — the
+// serving scenario of internal/serve — with one goroutine per CPU
+// (GOMAXPROCS) hammering the same engine through session views. Compare
+// against BenchmarkTable3/BenchmarkFig7 single-threaded latency to see
+// the scaling of the concurrent read path.
+func BenchmarkConcurrentTopK(b *testing.B) {
+	forKinds(b, func(b *testing.B, kind index.Kind) {
+		for _, alg := range []string{"stps", "stds"} {
+			alg := alg
+			b.Run(alg, func(b *testing.B) {
+				e := benchEngine(b, synKey(kind))
+				qs := benchDataset(b, synKey(kind)).GenQueries(benchQueries, qc(core.RangeScore))
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						q := qs[i%len(qs)]
+						i++
+						var err error
+						if alg == "stds" {
+							_, _, err = e.STDS(q)
+						} else {
+							_, _, err = e.STPS(q)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	})
+}

@@ -51,6 +51,7 @@ type bench struct {
 	seed          int64
 	cost          storage.CostModel
 	buffer        int
+	parallel      int    // -parallel: max workers for the serve experiment
 	jsonPath      string // -json: machine-readable records destination
 
 	curExp   string // experiment currently running (stamps Records)
@@ -67,13 +68,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stpqbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14")
+		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | serve")
 		queries = flag.Int("queries", 100, "queries per data point (the paper used 1000)")
 		t3q     = flag.Int("table3queries", 3, "queries per STDS data point (STDS is slow by design)")
 		scale   = flag.Float64("scale", 1.0, "dataset cardinality multiplier")
 		seed    = flag.Int64("seed", 1, "random seed")
 		iocost  = flag.Duration("iocost", 100*time.Microsecond, "modeled cost per physical page read")
 		buffer  = flag.Int("buffer", 256, "buffer pool pages per index")
+		par     = flag.Int("parallel", 0, "max workers for the serve experiment (0 = GOMAXPROCS)")
 		jsonOut = flag.String("json", "", "also write per-datapoint records (quantiles + phase breakdown) to this file")
 	)
 	flag.Parse()
@@ -85,6 +87,7 @@ func main() {
 		seed:          *seed,
 		cost:          storage.CostModel{PerPage: *iocost},
 		buffer:        *buffer,
+		parallel:      *par,
 		jsonPath:      *jsonOut,
 		datasets:      make(map[string]*datagen.Dataset),
 		engines:       make(map[string]*core.Engine),
@@ -103,8 +106,9 @@ func main() {
 		"fig12":   b.fig12,
 		"fig13":   b.fig13,
 		"fig14":   b.fig14,
+		"serve":   b.serve,
 	}
-	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "serve"}
 
 	start := time.Now()
 	runExp := func(name string) {

@@ -1,0 +1,97 @@
+package main
+
+// serve.go adds the concurrent-serving experiment: the same Table 2
+// default workload, executed by 1..GOMAXPROCS parallel workers against a
+// shared engine (the internal/serve execution model). The paper measures
+// queries in isolation; this sweep shows how per-query cost and aggregate
+// throughput behave when the buffer pools and indexes are shared by many
+// in-flight queries through session views.
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"stpq/internal/core"
+	"stpq/internal/index"
+)
+
+// serve sweeps the worker count over both index kinds with STPS on the
+// default synthetic dataset, reporting throughput and mean latency.
+func (b *bench) serve() {
+	header(fmt.Sprintf("serve: concurrent STPS throughput vs workers (range, k=%d, r=%g)", defK, defRadius))
+	ds := b.synthetic(b.scaled(defObjects), b.scaled(defFeatures), defSets, defVocab)
+	workers := b.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sweep := []int{1}
+	for w := 2; w < workers; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if workers > 1 {
+		sweep = append(sweep, workers)
+	}
+	for _, kind := range []index.Kind{index.SRT, index.IR2} {
+		e := b.engine(dsKeyOf(ds), ds, kind)
+		qs := ds.GenQueries(b.queries, b.defaultQC(core.RangeScore))
+		for _, w := range sweep {
+			label := fmt.Sprintf("%v workers=%d", kind, w)
+			st, qps := b.runParallel(label, kind.String(), "stps", e, qs, w)
+			line(label, fmt.Sprintf("%7.1f q/s", qps), cell(st))
+		}
+	}
+}
+
+// runParallel executes the workload with w concurrent workers and returns
+// the mean per-query stats plus aggregate throughput. With -json it
+// appends a Record labeled with the worker count.
+func (b *bench) runParallel(label, idx, alg string, e *core.Engine, qs []core.Query, w int) (core.Stats, float64) {
+	var (
+		mu   sync.Mutex
+		per  = make([]core.Stats, 0, len(qs))
+		next = make(chan core.Query)
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range next {
+				var (
+					st  core.Stats
+					err error
+				)
+				if alg == "stds" {
+					_, st, err = e.STDS(q)
+				} else {
+					_, st, err = e.STPS(q)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				per = append(per, st)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, q := range qs {
+		next <- q
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if b.jsonPath != "" {
+		b.records = append(b.records, newRecord(b.curExp, strings.TrimSpace(label), idx, alg, qs, per))
+	}
+	var acc core.Stats
+	for _, st := range per {
+		acc.Add(st)
+	}
+	return acc.Scale(len(per)), float64(len(per)) / elapsed.Seconds()
+}

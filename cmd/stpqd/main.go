@@ -1,0 +1,156 @@
+// Command stpqd serves top-k spatio-textual preference queries over HTTP:
+// a built stpq.DB behind the internal/serve worker pool, with admission
+// control and a result cache.
+//
+// Usage:
+//
+//	stpqd -synthetic -objects 20000 -features 20000 -addr :8080
+//	stpqd -open data/db -workers 8 -queue 128 -timeout 2s
+//
+// Endpoints:
+//
+//	POST /query    {"k":5,"radius":0.1,"lambda":0.5,"keywords":{"set":["kw1"]}}
+//	GET  /healthz  liveness
+//	GET  /metrics  Prometheus text format
+//	GET  /info     dataset shape (used by stpqload)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: admission stops, queued and
+// in-flight queries drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stpq"
+	"stpq/internal/datagen"
+	"stpq/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stpqd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		open      = flag.String("open", "", "directory of a DB written by stpq save")
+		synthetic = flag.Bool("synthetic", false, "serve a generated synthetic dataset")
+		objects   = flag.Int("objects", 20_000, "synthetic data objects")
+		features  = flag.Int("features", 20_000, "synthetic feature objects per set")
+		sets      = flag.Int("sets", 2, "synthetic feature sets")
+		vocab     = flag.Int("vocab", 256, "synthetic vocabulary size")
+		seed      = flag.Int64("seed", 1, "synthetic random seed")
+		indexKind = flag.String("index", "srt", "feature index for -synthetic: srt | ir2")
+		workers   = flag.Int("workers", 0, "concurrent query executors (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		cacheSize = flag.Int("cache", 256, "result cache entries (negative disables)")
+	)
+	flag.Parse()
+	if err := run(*addr, *open, *synthetic, *objects, *features, *sets, *vocab, *seed,
+		*indexKind, *workers, *queue, *timeout, *cacheSize); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, open string, synthetic bool, objects, features, sets, vocab int,
+	seed int64, indexKind string, workers, queue int, timeout time.Duration, cacheSize int) error {
+	db, err := loadDB(open, synthetic, objects, features, sets, vocab, seed, indexKind)
+	if err != nil {
+		return err
+	}
+	svc, err := serve.New(db, serve.Config{
+		Workers:      workers,
+		QueueDepth:   queue,
+		Timeout:      timeout,
+		CacheEntries: cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining queries")
+	svc.Close() // stop admission, drain queue and in-flight queries
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bye")
+	return nil
+}
+
+// loadDB opens a persisted DB or builds a synthetic one.
+func loadDB(open string, synthetic bool, objects, features, sets, vocab int,
+	seed int64, indexKind string) (*stpq.DB, error) {
+	switch {
+	case open != "" && synthetic:
+		return nil, errors.New("use either -open or -synthetic, not both")
+	case open != "":
+		log.Printf("opening %s", open)
+		return stpq.Open(open)
+	case synthetic:
+		kind := stpq.SRT
+		switch indexKind {
+		case "srt":
+		case "ir2":
+			kind = stpq.IR2
+		default:
+			return nil, fmt.Errorf("unknown -index %q", indexKind)
+		}
+		log.Printf("building synthetic dataset: %d objects, %d×%d features, vocab %d",
+			objects, sets, features, vocab)
+		db := stpq.New(stpq.Config{IndexKind: kind})
+		ds := datagen.Synthetic(datagen.SyntheticConfig{
+			Objects: objects, FeaturesPerSet: features, FeatureSets: sets,
+			Vocab: vocab, Seed: seed,
+		})
+		objs := make([]stpq.Object, len(ds.Objects))
+		for i, o := range ds.Objects {
+			objs[i] = stpq.Object{ID: o.ID, X: o.Location.X, Y: o.Location.Y}
+		}
+		db.AddObjects(objs)
+		for i, fs := range ds.FeatureSets {
+			feats := make([]stpq.Feature, len(fs))
+			for j, f := range fs {
+				// Synthetic keywords are abstract ids named kw<id>,
+				// matching cmd/stpqgen's CSV output.
+				var kws []string
+				f.Keywords.ForEach(func(id int) { kws = append(kws, fmt.Sprintf("kw%d", id)) })
+				feats[j] = stpq.Feature{
+					ID: f.ID, X: f.Location.X, Y: f.Location.Y,
+					Score: f.Score, Keywords: kws,
+				}
+			}
+			db.AddFeatureSet(fmt.Sprintf("set%d", i+1), feats)
+		}
+		if err := db.Build(); err != nil {
+			return nil, err
+		}
+		return db, nil
+	default:
+		return nil, errors.New("need a dataset: pass -open <dir> or -synthetic")
+	}
+}

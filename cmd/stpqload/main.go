@@ -1,0 +1,246 @@
+// Command stpqload drives a running stpqd with a closed-loop workload:
+// each of -c workers keeps exactly one query in flight, drawing random
+// keyword combinations from the server's GET /info dataset description.
+// It reports throughput, latency quantiles (p50/p90/p99), the cache hit
+// fraction and any non-200 responses.
+//
+// Usage:
+//
+//	stpqload -addr http://localhost:8080 -c 8 -duration 10s
+//	stpqload -addr http://localhost:8080 -n 1000 -k 10 -radius 0.05
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stpq/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stpqload: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "stpqd base URL")
+		workers  = flag.Int("c", 8, "closed-loop concurrency (in-flight queries)")
+		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -n > 0)")
+		count    = flag.Int("n", 0, "total queries to send (0 = run for -duration)")
+		k        = flag.Int("k", 10, "result size k")
+		radius   = flag.Float64("radius", 0.1, "query radius")
+		lambda   = flag.Float64("lambda", 0.5, "query lambda")
+		variant  = flag.String("variant", "range", "variant: range | influence | nn")
+		alg      = flag.String("algorithm", "stps", "algorithm: stps | stds")
+		kwPerSet = flag.Int("keywords", 2, "query keywords per feature set")
+		seed     = flag.Int64("seed", 1, "random seed for query generation")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *duration, *count, *k, *radius, *lambda,
+		*variant, *alg, *kwPerSet, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sample aggregates one worker's observations.
+type sample struct {
+	latencies []time.Duration
+	cached    int
+	errs      map[int]int // HTTP status -> count (0 = transport error)
+}
+
+func run(addr string, workers int, duration time.Duration, count, k int,
+	radius, lambda float64, variant, alg string, kwPerSet int, seed int64) error {
+	addr = strings.TrimSuffix(addr, "/")
+
+	if err := checkHealthz(addr); err != nil {
+		return err
+	}
+	info, err := fetchInfo(addr)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(info.Keywords))
+	for name, kws := range info.Keywords {
+		if len(kws) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("server dataset has no keywords to query")
+	}
+	log.Printf("target %s: %d objects, %d feature sets, generation %d",
+		addr, info.Objects, len(info.FeatureSets), info.Generation)
+
+	var (
+		wg       sync.WaitGroup
+		samples  = make([]*sample, workers)
+		deadline = time.Now().Add(duration)
+		// budget distributes -n across workers; <0 means run on -duration.
+		budget = count
+	)
+	perWorker := func(i int) int {
+		if count <= 0 {
+			return -1
+		}
+		n := budget / workers
+		if i < budget%workers {
+			n++
+		}
+		return n
+	}
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		samples[i] = &sample{errs: make(map[int]int)}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			s := samples[i]
+			for n := perWorker(i); n != 0; n-- {
+				if count <= 0 && time.Now().After(deadline) {
+					return
+				}
+				req := serve.QueryRequest{
+					K: k, Radius: radius, Lambda: lambda,
+					Variant: variant, Algorithm: alg,
+					Keywords: randomKeywords(rng, names, info.Keywords, kwPerSet),
+				}
+				fire(addr, req, s)
+			}
+		}(i)
+	}
+	wg.Wait()
+	report(samples, time.Since(start))
+	return nil
+}
+
+// randomKeywords draws kwPerSet keywords per feature set.
+func randomKeywords(rng *rand.Rand, names []string, pool map[string][]string, kwPerSet int) map[string][]string {
+	out := make(map[string][]string, len(names))
+	for _, name := range names {
+		avail := pool[name]
+		n := kwPerSet
+		if n > len(avail) {
+			n = len(avail)
+		}
+		kws := make([]string, n)
+		for j := range kws {
+			kws[j] = avail[rng.Intn(len(avail))]
+		}
+		out[name] = kws
+	}
+	return out
+}
+
+// fire sends one query and records its outcome.
+func fire(addr string, req serve.QueryRequest, s *sample) {
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	resp, err := http.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		s.errs[0]++
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.errs[resp.StatusCode]++
+		return
+	}
+	var out serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		s.errs[0]++
+		return
+	}
+	s.latencies = append(s.latencies, time.Since(t0))
+	if out.Cached {
+		s.cached++
+	}
+}
+
+func checkHealthz(addr string) error {
+	resp, err := http.Get(addr + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func fetchInfo(addr string) (serve.Info, error) {
+	var info serve.Info
+	resp, err := http.Get(addr + "/info")
+	if err != nil {
+		return info, fmt.Errorf("info: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("info: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, fmt.Errorf("info: %w", err)
+	}
+	return info, nil
+}
+
+// report merges worker samples and prints the summary.
+func report(samples []*sample, elapsed time.Duration) {
+	var all []time.Duration
+	cached, errTotal := 0, 0
+	errs := make(map[int]int)
+	for _, s := range samples {
+		all = append(all, s.latencies...)
+		cached += s.cached
+		for code, n := range s.errs {
+			errs[code] += n
+			errTotal += n
+		}
+	}
+	n := len(all)
+	fmt.Printf("queries     %d ok, %d failed in %s\n", n, errTotal, elapsed.Round(time.Millisecond))
+	if n > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		qps := float64(n) / elapsed.Seconds()
+		fmt.Printf("throughput  %.1f queries/s\n", qps)
+		fmt.Printf("latency     p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[n-1])
+		fmt.Printf("cache hits  %d (%.1f%%)\n", cached, 100*float64(cached)/float64(n))
+	}
+	if errTotal > 0 {
+		codes := make([]int, 0, len(errs))
+		for c := range errs {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			label := fmt.Sprintf("HTTP %d", c)
+			if c == 0 {
+				label = "transport"
+			}
+			fmt.Printf("errors      %s: %d\n", label, errs[c])
+		}
+	}
+}
+
+// quantile returns the q-th quantile of sorted latencies.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(10 * time.Microsecond)
+}

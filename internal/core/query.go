@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stpq/internal/geo"
@@ -257,14 +259,62 @@ func (o Options) withDefaults() Options {
 }
 
 // Engine binds the object index and the feature indexes and executes
-// queries with either algorithm.
+// queries with either algorithm. Once built, an Engine is safe for
+// concurrent queries: each STDS/STPS call runs in a private session whose
+// page reads are charged to a per-query accumulator, while the underlying
+// buffer pools (shared page caches) are internally synchronized.
 type Engine struct {
 	objects  *index.ObjectIndex
 	features []*index.FeatureIndex
 	opts     Options
+	// trace is the tracing toggle, shared by all sessions so SetTrace
+	// takes effect for queries already in flight elsewhere.
+	trace *atomic.Bool
 	// cells is the cross-query Voronoi cell cache (Options.
 	// CacheVoronoiCells); nil when caching is off.
-	cells map[cellKey]geo.Polygon
+	cells *cellCache
+	// reads is the per-query read accumulator of a session engine; nil on
+	// the root engine.
+	reads *storage.Stats
+}
+
+// cellCache is the lock-protected cross-query Voronoi cell cache.
+type cellCache struct {
+	mu sync.RWMutex
+	m  map[cellKey]geo.Polygon
+}
+
+func (c *cellCache) get(k cellKey) (geo.Polygon, bool) {
+	c.mu.RLock()
+	p, ok := c.m[k]
+	c.mu.RUnlock()
+	return p, ok
+}
+
+func (c *cellCache) put(k cellKey, p geo.Polygon) {
+	c.mu.Lock()
+	c.m[k] = p
+	c.mu.Unlock()
+}
+
+// session returns a per-query view of the engine: the same immutable index
+// structure and shared page caches, but with every page read charged to a
+// fresh private accumulator. Idempotent on an engine that already is a
+// session.
+func (e *Engine) session() *Engine {
+	if e.reads != nil {
+		return e
+	}
+	acct := &storage.Stats{}
+	s := *e
+	s.reads = acct
+	s.objects = e.objects.Session(acct)
+	feats := make([]*index.FeatureIndex, len(e.features))
+	for i, f := range e.features {
+		feats[i] = f.Session(acct)
+	}
+	s.features = feats
+	return &s
 }
 
 // NewEngine creates an engine. All feature indexes must share the engine's
@@ -281,9 +331,10 @@ func NewEngine(objects *index.ObjectIndex, features []*index.FeatureIndex, opts 
 			return nil, fmt.Errorf("core: feature index %d is nil", i)
 		}
 	}
-	e := &Engine{objects: objects, features: features, opts: opts.withDefaults()}
+	e := &Engine{objects: objects, features: features, opts: opts.withDefaults(), trace: &atomic.Bool{}}
+	e.trace.Store(e.opts.Trace)
 	if e.opts.CacheVoronoiCells {
-		e.cells = make(map[cellKey]geo.Polygon)
+		e.cells = &cellCache{m: make(map[cellKey]geo.Polygon)}
 	}
 	return e, nil
 }
@@ -306,7 +357,7 @@ func (e *Engine) PrecomputeVoronoiCells() error {
 			if err != nil {
 				return err
 			}
-			e.cells[cellKey{set: i, id: entry.ItemID}] = cell
+			e.cells.put(cellKey{set: i, id: entry.ItemID}, cell)
 		}
 	}
 	return nil
@@ -321,8 +372,15 @@ func (e *Engine) Features() []*index.FeatureIndex { return e.features }
 // Options returns the engine options.
 func (e *Engine) Options() Options { return e.opts }
 
-// snapshotReads sums the I/O counters across all indexes.
+// snapshotReads returns the cumulative I/O counters visible to this
+// engine: the private per-query accumulator in a session, or the summed
+// lifetime pool counters on the root engine. Within a session, snapshots
+// taken before and after a phase diff to exactly that query's reads even
+// when other queries run concurrently.
 func (e *Engine) snapshotReads() storage.Stats {
+	if e.reads != nil {
+		return *e.reads
+	}
 	var s storage.Stats
 	s.Add(e.objects.Stats())
 	for _, f := range e.features {
@@ -341,14 +399,16 @@ func (e *Engine) finishStats(st *Stats, before storage.Stats, start time.Time) {
 }
 
 // SetTrace toggles per-query tracing after construction (used by CLIs on
-// opened databases).
-func (e *Engine) SetTrace(on bool) { e.opts.Trace = on }
+// opened databases). Safe to call while queries are in flight; queries
+// that already started keep their tracing decision.
+func (e *Engine) SetTrace(on bool) { e.trace.Store(on) }
 
 // newTrace opens a span trace for one query, or returns the nil (no-op)
-// tracer when tracing is off. The read source diffs the engine-wide pool
-// counters, so span deltas line up exactly with Stats.
+// tracer when tracing is off. The read source diffs the session's private
+// read accumulator, so span deltas line up exactly with Stats even under
+// concurrent queries.
 func (e *Engine) newTrace(name string) *obs.Trace {
-	if !e.opts.Trace {
+	if !e.trace.Load() {
 		return nil
 	}
 	return obs.NewTrace(name, func() (int64, int64) {

@@ -22,6 +22,7 @@ func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
 	if err := q.Validate(len(e.features)); err != nil {
 		return nil, Stats{}, err
 	}
+	e = e.session() // private read accounting; safe under concurrency
 	var stats Stats
 	before := e.snapshotReads()
 	tr := e.newTrace("stds." + q.Variant.String())

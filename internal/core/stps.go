@@ -20,6 +20,7 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	if err := q.Validate(len(e.features)); err != nil {
 		return nil, Stats{}, err
 	}
+	e = e.session() // private read accounting; safe under concurrency
 	var stats Stats
 	before := e.snapshotReads()
 	tr := e.newTrace("stps." + q.Variant.String())
@@ -336,10 +337,10 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 	}
 	seen := make(map[int64]bool)
 	results := make([]Result, 0, q.K)
-	cellCache := e.cells // cross-query cache when enabled
-	if cellCache == nil {
-		cellCache = make(map[cellKey]geo.Polygon)
-	}
+	// Per-query cell view: always writes a private map (single-goroutine),
+	// falling back to — and populating — the shared cross-query cache when
+	// Options.CacheVoronoiCells is on.
+	cells := &queryCells{shared: e.cells, local: make(map[cellKey]geo.Polygon)}
 	radii := make(map[cellKey]float64)
 	for len(results) < q.K {
 		sp := tr.StartPhase("combos.generate")
@@ -355,7 +356,7 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 			continue
 		}
 		sp = tr.StartPhase("voronoi.build")
-		region, err := e.comboRegion(comb, cellCache, radii, stats)
+		region, err := e.comboRegion(comb, cells, radii, stats)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -387,6 +388,34 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 type cellKey struct {
 	set int
 	id  int64
+}
+
+// queryCells is one query's view of the Voronoi cells: a private map the
+// query fills freely plus the optional shared cross-query cache, consulted
+// and populated under its lock.
+type queryCells struct {
+	shared *cellCache
+	local  map[cellKey]geo.Polygon
+}
+
+func (qc *queryCells) get(k cellKey) (geo.Polygon, bool) {
+	if cell, ok := qc.local[k]; ok {
+		return cell, true
+	}
+	if qc.shared != nil {
+		if cell, ok := qc.shared.get(k); ok {
+			qc.local[k] = cell
+			return cell, true
+		}
+	}
+	return geo.Polygon{}, false
+}
+
+func (qc *queryCells) put(k cellKey, cell geo.Polygon) {
+	qc.local[k] = cell
+	if qc.shared != nil {
+		qc.shared.put(k, cell)
+	}
 }
 
 // comboCellsDisjoint quick-rejects a combination when two of its features'
@@ -423,7 +452,7 @@ func comboCellsDisjoint(comb combination, radii map[cellKey]float64) bool {
 // comboRegion intersects the Voronoi cells of the combination's concrete
 // features, attributing the construction cost to the Voronoi counters
 // (the striped bars of Figures 13–14).
-func (e *Engine) comboRegion(comb combination, cache map[cellKey]geo.Polygon, radii map[cellKey]float64, stats *Stats) (geo.Polygon, error) {
+func (e *Engine) comboRegion(comb combination, cache *queryCells, radii map[cellKey]float64, stats *Stats) (geo.Polygon, error) {
 	region := geo.UnitSquare()
 	vorStart := time.Now()
 	vorBefore := e.snapshotReads()
@@ -436,14 +465,14 @@ func (e *Engine) comboRegion(comb combination, cache map[cellKey]geo.Polygon, ra
 			continue
 		}
 		key := cellKey{set: i, id: ref.entry.ItemID}
-		cell, ok := cache[key]
+		cell, ok := cache.get(key)
 		if !ok {
 			var err error
 			cell, err = e.voronoiCell(i, ref.entry)
 			if err != nil {
 				return geo.Polygon{}, err
 			}
-			cache[key] = cell
+			cache.put(key, cell)
 		}
 		if _, ok := radii[key]; !ok {
 			radii[key] = cell.MaxDist(ref.entry.Point())

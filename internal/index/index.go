@@ -216,6 +216,22 @@ func (x *FeatureIndex) Kind() Kind { return x.kind }
 // Len returns the number of indexed features.
 func (x *FeatureIndex) Len() int { return x.tree.Len() }
 
+// Session returns a read view of the index whose page accesses are
+// additionally charged to acct — the per-query accounting handle that
+// keeps Stats attribution exact when queries run concurrently. The view
+// shares the tree structure and page cache with the original index and
+// must not be mutated.
+func (x *FeatureIndex) Session(acct *storage.Stats) *FeatureIndex {
+	c := *x
+	c.tree = x.tree.WithPool(x.tree.Pool().Session(acct))
+	if x.records != nil {
+		rc := *x.records
+		rc.pool = x.records.pool.Session(acct)
+		c.records = &rc
+	}
+	return &c
+}
+
 // Stats returns the accumulated I/O counters of the index's buffer pool,
 // including record-file verification reads in signature mode.
 func (x *FeatureIndex) Stats() storage.Stats {
@@ -316,6 +332,12 @@ func (x *ObjectIndex) Tree() *rtree.Tree { return x.tree }
 
 // Len returns the number of indexed objects.
 func (x *ObjectIndex) Len() int { return x.tree.Len() }
+
+// Session returns a read view of the index whose page accesses are
+// additionally charged to acct (see FeatureIndex.Session).
+func (x *ObjectIndex) Session(acct *storage.Stats) *ObjectIndex {
+	return &ObjectIndex{tree: x.tree.WithPool(x.tree.Pool().Session(acct))}
+}
 
 // Stats returns the accumulated I/O counters.
 func (x *ObjectIndex) Stats() storage.Stats { return x.tree.Pool().Stats() }

@@ -45,6 +45,20 @@ func VocabularyOf(words ...string) *Vocabulary {
 // normalize their inputs, so "Pizza" and " pizza " denote the same keyword.
 func Normalize(w string) string { return strings.ToLower(strings.TrimSpace(w)) }
 
+// Clone returns an independent copy of the vocabulary with the same ids.
+// Rebuilding a database interns new keywords into a clone and swaps it in,
+// so queries running against the previous snapshot keep a stable view.
+func (v *Vocabulary) Clone() *Vocabulary {
+	c := &Vocabulary{
+		ids:   make(map[string]int, len(v.ids)),
+		words: append([]string(nil), v.words...),
+	}
+	for w, id := range v.ids {
+		c.ids[w] = id
+	}
+	return c
+}
+
 // Intern returns the id of the keyword w, assigning a fresh id if w has not
 // been seen before. Empty keywords (after normalization) are rejected with
 // id -1.

@@ -162,6 +162,17 @@ func (t *Tree) Config() Config { return t.cfg }
 // metric.
 func (t *Tree) Pool() *storage.BufferPool { return t.pool }
 
+// WithPool returns a read view of the tree that routes page access through
+// p — typically a Session handle of the tree's own pool, so that one
+// query's reads are charged to its private accumulator while the page
+// cache stays shared. The view aliases the tree's structure and must not
+// be mutated (no Insert/Delete/BulkLoad).
+func (t *Tree) WithPool(p *storage.BufferPool) *Tree {
+	c := *t
+	c.pool = p
+	return &c
+}
+
 // Root returns the page id of the root node.
 func (t *Tree) Root() storage.PageID { return t.root }
 

@@ -1,0 +1,146 @@
+package serve
+
+// cache.go implements the service's LRU result cache. Entries are keyed
+// by a canonical query fingerprint and stamped with the index build
+// generation they were computed against; a lookup whose generation does
+// not match evicts the stale entry and misses, which is how Rebuild
+// invalidates the cache without a synchronous purge.
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"stpq"
+	"stpq/internal/kwset"
+)
+
+// Fingerprint returns the canonical cache key of a query: two queries
+// have equal fingerprints iff they are semantically identical. Keyword
+// lists are normalized (lower-cased, trimmed), sorted and deduplicated;
+// feature sets with no keywords are dropped (they match nothing either
+// way); floats are rendered exactly.
+func Fingerprint(q stpq.Query) string {
+	var b strings.Builder
+	b.WriteString("v")
+	b.WriteString(strconv.Itoa(int(q.Variant)))
+	b.WriteString("|a")
+	b.WriteString(strconv.Itoa(int(q.Algorithm)))
+	b.WriteString("|s")
+	b.WriteString(strconv.Itoa(int(q.Similarity)))
+	b.WriteString("|k")
+	b.WriteString(strconv.Itoa(q.K))
+	b.WriteString("|r")
+	b.WriteString(strconv.FormatFloat(q.Radius, 'x', -1, 64))
+	b.WriteString("|l")
+	b.WriteString(strconv.FormatFloat(q.Lambda, 'x', -1, 64))
+	names := make([]string, 0, len(q.Keywords))
+	for name, kws := range q.Keywords {
+		if len(kws) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteString("|")
+		b.WriteString(strconv.Quote(name))
+		b.WriteString("=")
+		kws := make([]string, 0, len(q.Keywords[name]))
+		for _, w := range q.Keywords[name] {
+			if n := kwset.Normalize(w); n != "" {
+				kws = append(kws, n)
+			}
+		}
+		sort.Strings(kws)
+		prev := ""
+		for i, w := range kws {
+			if i > 0 && w == prev {
+				continue
+			}
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(strconv.Quote(w))
+			prev = w
+		}
+	}
+	return b.String()
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	resp Response
+}
+
+// resultCache is a mutex-protected LRU map from fingerprint to Response.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response for key if present and computed at the
+// given generation. A generation mismatch evicts the stale entry.
+func (c *resultCache) get(key string, gen uint64) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return Response{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		return Response{}, false
+	}
+	c.lru.MoveToFront(el)
+	return cachedCopy(e.resp), true
+}
+
+// put stores a response, evicting the least recently used entry when full.
+func (c *resultCache) put(key string, gen uint64, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).gen = gen
+		el.Value.(*cacheEntry).resp = resp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, gen: gen, resp: resp})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// cachedCopy returns the response with Cached set and the result slice
+// copied, so callers may mutate what they get back.
+func cachedCopy(r Response) Response {
+	out := r
+	out.Cached = true
+	out.Results = make([]stpq.Result, len(r.Results))
+	copy(out.Results, r.Results)
+	return out
+}

@@ -1,0 +1,247 @@
+package serve
+
+// http.go is the HTTP front end used by cmd/stpqd:
+//
+//	POST /query    JSON query in, JSON results + per-query stats out
+//	GET  /healthz  liveness (503 once Close has begun)
+//	GET  /metrics  Prometheus text format: DB registry, then serve registry
+//	GET  /info     dataset shape, for load generators (cmd/stpqload)
+//
+// Error mapping: invalid query → 400, queue full → 429, deadline → 504,
+// shutting down → 503.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stpq"
+)
+
+// QueryRequest is the JSON body of POST /query. Enumerations are spelled
+// as strings; missing fields take the library defaults (range variant,
+// STPS algorithm, Jaccard similarity).
+type QueryRequest struct {
+	K          int                 `json:"k"`
+	Radius     float64             `json:"radius"`
+	Lambda     float64             `json:"lambda"`
+	Keywords   map[string][]string `json:"keywords"`
+	Variant    string              `json:"variant,omitempty"`    // range | influence | nn
+	Algorithm  string              `json:"algorithm,omitempty"`  // stps | stds
+	Similarity string              `json:"similarity,omitempty"` // jaccard | dice | cosine | overlap
+}
+
+// Query lowers the request into a library query, rejecting unknown
+// enumeration spellings with errors that wrap stpq.ErrInvalidQuery.
+func (r QueryRequest) Query() (stpq.Query, error) {
+	q := stpq.Query{K: r.K, Radius: r.Radius, Lambda: r.Lambda, Keywords: r.Keywords}
+	switch r.Variant {
+	case "", "range":
+		q.Variant = stpq.Range
+	case "influence":
+		q.Variant = stpq.Influence
+	case "nn", "nearest-neighbor":
+		q.Variant = stpq.NearestNeighbor
+	default:
+		return q, fmt.Errorf("%w: unknown variant %q", stpq.ErrInvalidQuery, r.Variant)
+	}
+	switch r.Algorithm {
+	case "", "stps":
+		q.Algorithm = stpq.STPS
+	case "stds":
+		q.Algorithm = stpq.STDS
+	default:
+		return q, fmt.Errorf("%w: unknown algorithm %q", stpq.ErrInvalidQuery, r.Algorithm)
+	}
+	switch r.Similarity {
+	case "", "jaccard":
+		q.Similarity = stpq.JaccardSim
+	case "dice":
+		q.Similarity = stpq.DiceSim
+	case "cosine":
+		q.Similarity = stpq.CosineSim
+	case "overlap":
+		q.Similarity = stpq.OverlapSim
+	default:
+		return q, fmt.Errorf("%w: unknown similarity %q", stpq.ErrInvalidQuery, r.Similarity)
+	}
+	return q, nil
+}
+
+// ResultJSON is one ranked object in a QueryResponse.
+type ResultJSON struct {
+	ID    int64   `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Score float64 `json:"score"`
+}
+
+// StatsJSON is the per-query cost breakdown in a QueryResponse.
+type StatsJSON struct {
+	CPUMicros      int64      `json:"cpu_us"`
+	IOMicros       int64      `json:"io_us"`
+	TotalMicros    int64      `json:"total_us"`
+	LogicalReads   int64      `json:"logical_reads"`
+	PhysicalReads  int64      `json:"physical_reads"`
+	Combinations   int        `json:"combinations,omitempty"`
+	FeaturesPulled int        `json:"features_pulled,omitempty"`
+	ObjectsScored  int        `json:"objects_scored,omitempty"`
+	Trace          *stpq.Span `json:"trace,omitempty"`
+}
+
+// QueryResponse is the JSON body answering POST /query.
+type QueryResponse struct {
+	Results    []ResultJSON `json:"results"`
+	Stats      StatsJSON    `json:"stats"`
+	Cached     bool         `json:"cached"`
+	Generation uint64       `json:"generation"`
+	ElapsedUS  int64        `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/info", s.handleInfo)
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	q, err := req.Query()
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	start := time.Now()
+	resp, err := s.Do(r.Context(), q)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	out := QueryResponse{
+		Results:    make([]ResultJSON, len(resp.Results)),
+		Cached:     resp.Cached,
+		Generation: resp.Generation,
+		ElapsedUS:  time.Since(start).Microseconds(),
+		Stats: StatsJSON{
+			CPUMicros:      resp.Stats.CPUTime.Microseconds(),
+			IOMicros:       resp.Stats.IOTime.Microseconds(),
+			TotalMicros:    resp.Stats.Total().Microseconds(),
+			LogicalReads:   resp.Stats.LogicalReads,
+			PhysicalReads:  resp.Stats.PhysicalReads,
+			Combinations:   resp.Stats.Combinations,
+			FeaturesPulled: resp.Stats.FeaturesPulled,
+			ObjectsScored:  resp.Stats.ObjectsScored,
+			Trace:          resp.Stats.Trace,
+		},
+	}
+	for i, res := range resp.Results {
+		out.Results[i] = ResultJSON{ID: res.ID, X: res.X, Y: res.Y, Score: res.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statusOf maps service and validation errors onto HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, stpq.ErrInvalidQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed), errors.Is(err, stpq.ErrNotBuilt):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Closed() {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.db.WriteMetricsPrometheus(w); err != nil {
+		return
+	}
+	_ = s.metrics.Snapshot().WritePrometheus(w)
+}
+
+// Info is the JSON body of GET /info: enough dataset shape for a load
+// generator to synthesize plausible queries.
+type Info struct {
+	Objects     int                 `json:"objects"`
+	FeatureSets map[string]int      `json:"feature_sets"`
+	Keywords    map[string][]string `json:"keywords"`
+	Generation  uint64              `json:"generation"`
+}
+
+// infoKeywords caps the per-set keyword sample in /info.
+const infoKeywords = 100
+
+func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.db.Snapshot()
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	info := Info{
+		Objects:     snap.NumObjects(),
+		FeatureSets: snap.NumFeatures(),
+		Keywords:    make(map[string][]string, len(snap.FeatureSetNames())),
+		Generation:  snap.Generation(),
+	}
+	for _, name := range snap.FeatureSetNames() {
+		stats, err := s.db.KeywordStats(name)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		n := len(stats)
+		if n > infoKeywords {
+			n = infoKeywords
+		}
+		kws := make([]string, n)
+		for i := 0; i < n; i++ {
+			kws[i] = stats[i].Keyword
+		}
+		info.Keywords[name] = kws
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

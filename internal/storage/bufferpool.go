@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"stpq/internal/obs"
 )
@@ -12,22 +14,44 @@ import (
 //
 // The pool is intentionally simple: pages are read-mostly once an index is
 // built, so there is no dirty-page write-back path — WriteThrough stores
-// pages synchronously. A BufferPool is not safe for concurrent use; the
-// query algorithms are single-threaded, as in the paper.
+// pages synchronously. The read path (Get) is safe for concurrent use: a
+// mutex protects the LRU state and the lifetime counters are atomics, so
+// any number of query goroutines may share one pool. Writes (WriteThrough)
+// must not race reads — they only happen while an index is being built or
+// mutated, which the layers above already serialize against queries.
+//
+// Per-query read accounting uses session handles (see Session): the paper
+// attributes page reads to individual queries, and under concurrency the
+// pool-wide counters interleave, so each query charges its own private
+// Stats in addition to the shared lifetime counters.
 type BufferPool struct {
+	s *poolShared
+	// local, when non-nil, receives this handle's read counts in addition
+	// to the shared lifetime counters. It is owned by a single query
+	// goroutine and uses plain (non-atomic) arithmetic.
+	local *Stats
+}
+
+// poolShared is the state shared by a pool and all its session handles.
+type poolShared struct {
 	disk     Disk
 	capacity int
-	stats    Stats
-	metrics  *PoolMetrics // optional aggregate metrics, nil when detached
 
+	mu      sync.Mutex // guards lru and entries
 	lru     *list.List // front = most recently used; values are *frame
 	entries map[PageID]*list.Element
+
+	logical   atomic.Int64
+	physical  atomic.Int64
+	writes    atomic.Int64
+	evictions atomic.Int64
+
+	metrics atomic.Pointer[PoolMetrics] // optional aggregate metrics
 }
 
 // PoolMetrics aggregates one buffer pool's counters into a metrics
-// registry. Unlike Stats — which is snapshotted and diffed around a single
-// query — these counters accumulate over the pool's lifetime and are meant
-// for scraping.
+// registry. Unlike Stats — which is accumulated per query — these counters
+// accumulate over the pool's lifetime and are meant for scraping.
 type PoolMetrics struct {
 	Hits      *obs.Counter
 	Misses    *obs.Counter
@@ -48,7 +72,7 @@ func NewPoolMetrics(r *obs.Registry, pool string) *PoolMetrics {
 }
 
 // SetMetrics attaches (or, with nil, detaches) aggregate metrics.
-func (b *BufferPool) SetMetrics(m *PoolMetrics) { b.metrics = m }
+func (b *BufferPool) SetMetrics(m *PoolMetrics) { b.s.metrics.Store(m) }
 
 type frame struct {
 	id   PageID
@@ -62,101 +86,156 @@ func NewBufferPool(disk Disk, capacity int) *BufferPool {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &BufferPool{
+	return &BufferPool{s: &poolShared{
 		disk:     disk,
 		capacity: capacity,
 		lru:      list.New(),
 		entries:  make(map[PageID]*list.Element),
-	}
+	}}
+}
+
+// Session returns a handle onto the same pool (same cache, same lifetime
+// counters) that additionally charges every read to acct. acct must be
+// used from a single goroutine at a time — it is the per-query accumulator
+// behind Stats.LogicalReads/PhysicalReads.
+func (b *BufferPool) Session(acct *Stats) *BufferPool {
+	return &BufferPool{s: b.s, local: acct}
 }
 
 // Disk returns the underlying disk.
-func (b *BufferPool) Disk() Disk { return b.disk }
+func (b *BufferPool) Disk() Disk { return b.s.disk }
 
 // Capacity returns the pool capacity in pages.
-func (b *BufferPool) Capacity() int { return b.capacity }
+func (b *BufferPool) Capacity() int { return b.s.capacity }
 
 // Len returns the number of cached pages.
-func (b *BufferPool) Len() int { return b.lru.Len() }
+func (b *BufferPool) Len() int {
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	return b.s.lru.Len()
+}
 
 // Get returns the contents of the page. The returned slice is owned by the
 // pool and must not be modified or retained across further pool calls;
 // callers decode it into their own node representation immediately.
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
-	b.stats.LogicalReads++
-	if el, ok := b.entries[id]; ok {
-		if b.metrics != nil {
-			b.metrics.Hits.Inc()
+	s := b.s
+	s.logical.Add(1)
+	if b.local != nil {
+		b.local.LogicalReads++
+	}
+	s.mu.Lock()
+	if el, ok := s.entries[id]; ok {
+		s.lru.MoveToFront(el)
+		data := el.Value.(*frame).data
+		s.mu.Unlock()
+		if m := s.metrics.Load(); m != nil {
+			m.Hits.Inc()
 		}
-		b.lru.MoveToFront(el)
-		return el.Value.(*frame).data, nil
+		return data, nil
 	}
-	b.stats.PhysicalReads++
-	if b.metrics != nil {
-		b.metrics.Misses.Inc()
+	// Miss: the disk read happens under the lock, so concurrent misses on
+	// the same page coalesce into one physical read — the behaviour of a
+	// real pool with page latches, and what keeps read accounting
+	// comparable between sequential and concurrent runs.
+	s.physical.Add(1)
+	if b.local != nil {
+		b.local.PhysicalReads++
 	}
-	data := make([]byte, b.disk.PageSize())
-	if err := b.disk.ReadPage(id, data); err != nil {
+	data := make([]byte, s.disk.PageSize())
+	if err := s.disk.ReadPage(id, data); err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("bufferpool: %w", err)
 	}
-	b.insert(id, data)
+	b.insertLocked(id, data)
+	s.mu.Unlock()
+	if m := s.metrics.Load(); m != nil {
+		m.Misses.Inc()
+	}
 	return data, nil
 }
 
 // WriteThrough writes the page to disk and refreshes the cached copy.
 func (b *BufferPool) WriteThrough(id PageID, data []byte) error {
-	b.stats.Writes++
-	if b.metrics != nil {
-		b.metrics.Writes.Inc()
+	s := b.s
+	s.writes.Add(1)
+	if b.local != nil {
+		b.local.Writes++
 	}
-	if err := b.disk.WritePage(id, data); err != nil {
+	if m := s.metrics.Load(); m != nil {
+		m.Writes.Inc()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.disk.WritePage(id, data); err != nil {
 		return fmt.Errorf("bufferpool: %w", err)
 	}
-	if el, ok := b.entries[id]; ok {
+	if el, ok := s.entries[id]; ok {
 		f := el.Value.(*frame)
 		copy(f.data, data)
 		for i := len(data); i < len(f.data); i++ {
 			f.data[i] = 0
 		}
-		b.lru.MoveToFront(el)
+		s.lru.MoveToFront(el)
 	}
 	return nil
 }
 
-// insert caches the page, evicting the least recently used page if full.
-func (b *BufferPool) insert(id PageID, data []byte) {
-	if b.capacity == 0 {
+// insertLocked caches the page, evicting the least recently used page if
+// full. Callers hold s.mu.
+func (b *BufferPool) insertLocked(id PageID, data []byte) {
+	s := b.s
+	if s.capacity == 0 {
 		return
 	}
-	if b.lru.Len() >= b.capacity {
-		back := b.lru.Back()
+	if s.lru.Len() >= s.capacity {
+		back := s.lru.Back()
 		if back != nil {
-			b.lru.Remove(back)
-			delete(b.entries, back.Value.(*frame).id)
-			b.stats.Evictions++
-			if b.metrics != nil {
-				b.metrics.Evictions.Inc()
+			s.lru.Remove(back)
+			delete(s.entries, back.Value.(*frame).id)
+			s.evictions.Add(1)
+			if b.local != nil {
+				b.local.Evictions++
+			}
+			if m := s.metrics.Load(); m != nil {
+				m.Evictions.Inc()
 			}
 		}
 	}
-	b.entries[id] = b.lru.PushFront(&frame{id: id, data: data})
+	s.entries[id] = s.lru.PushFront(&frame{id: id, data: data})
 }
 
 // Contains reports whether the page is currently cached (for tests).
 func (b *BufferPool) Contains(id PageID) bool {
-	_, ok := b.entries[id]
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	_, ok := b.s.entries[id]
 	return ok
 }
 
-// Stats returns a snapshot of the accumulated counters.
-func (b *BufferPool) Stats() Stats { return b.stats }
+// Stats returns a snapshot of the accumulated lifetime counters.
+func (b *BufferPool) Stats() Stats {
+	return Stats{
+		LogicalReads:  b.s.logical.Load(),
+		PhysicalReads: b.s.physical.Load(),
+		Writes:        b.s.writes.Load(),
+		Evictions:     b.s.evictions.Load(),
+	}
+}
 
-// ResetStats zeroes the counters (the cache contents are kept, matching
-// the paper's warm-cache steady-state measurements).
-func (b *BufferPool) ResetStats() { b.stats = Stats{} }
+// ResetStats zeroes the lifetime counters (the cache contents are kept,
+// matching the paper's warm-cache steady-state measurements).
+func (b *BufferPool) ResetStats() {
+	b.s.logical.Store(0)
+	b.s.physical.Store(0)
+	b.s.writes.Store(0)
+	b.s.evictions.Store(0)
+}
 
 // Clear drops all cached pages (cold-cache measurements).
 func (b *BufferPool) Clear() {
-	b.lru.Init()
-	b.entries = make(map[PageID]*list.Element)
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	b.s.lru.Init()
+	b.s.entries = make(map[PageID]*list.Element)
 }

@@ -138,17 +138,17 @@ func fromObsSnapshot(s obs.Snapshot) MetricsSnapshot {
 // Metrics returns a snapshot of the DB's aggregate metrics. Unlike Stats —
 // which describes one query — these accumulate over the DB's lifetime.
 func (db *DB) Metrics() MetricsSnapshot {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return fromObsSnapshot(db.metrics.Snapshot())
 }
 
 // WriteMetricsPrometheus writes the current metrics in Prometheus text
 // exposition format, suitable for a /metrics scrape handler.
 func (db *DB) WriteMetricsPrometheus(w io.Writer) error {
-	db.mu.Lock()
+	db.mu.RLock()
 	snap := db.metrics.Snapshot()
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	return snap.WritePrometheus(w)
 }
 

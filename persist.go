@@ -31,6 +31,8 @@ const manifestName = "stpq.json"
 // Together with Open, Save makes index construction a one-off cost: a
 // 100K-feature SRT-index reopens in milliseconds.
 func (db *DB) Save(dir string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if !db.built {
 		return errors.New("stpq: Save before Build")
 	}
@@ -133,6 +135,7 @@ func Open(dir string) (*DB, error) {
 		return nil, err
 	}
 	db.built = true
+	db.gen = 1
 	return db, nil
 }
 

@@ -1,0 +1,143 @@
+package stpq
+
+// snapshot.go implements the serving-side view of a DB: an immutable
+// Snapshot handle that queries run against, and Rebuild, which constructs
+// a fresh engine and swaps it in without disturbing in-flight queries.
+//
+// A Snapshot pins the engine, vocabulary and feature-set names that were
+// current when it was taken. Rebuild replaces those pointers atomically
+// (under the DB lock) and bumps the generation counter; queries running
+// against an older snapshot finish on the old engine, whose indexes and
+// page caches stay valid. The generation number is how the serving layer
+// (internal/serve) invalidates its result cache on rebuild.
+
+import (
+	"fmt"
+
+	"stpq/internal/core"
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/kwset"
+)
+
+// Snapshot is an immutable handle onto a built DB's indexes. It is safe
+// for concurrent use: any number of goroutines may call TopK on the same
+// Snapshot, and a Snapshot keeps working after the DB is rebuilt.
+type Snapshot struct {
+	engine *core.Engine
+	vocab  *kwset.Vocabulary
+	names  []string
+	gen    uint64
+}
+
+// Snapshot returns a handle onto the current indexes. It fails with
+// ErrNotBuilt before Build.
+func (db *DB) Snapshot() (*Snapshot, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if !db.built {
+		return nil, fmt.Errorf("%w: Snapshot before Build", ErrNotBuilt)
+	}
+	return &Snapshot{engine: db.engine, vocab: db.vocab, names: db.setNames, gen: db.gen}, nil
+}
+
+// Generation returns the build generation the snapshot was taken at: 1
+// after the first Build, incremented by every Rebuild. Serving layers use
+// it to detect that cached results belong to a superseded index.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// FeatureSetNames returns the feature-set names of this snapshot in
+// registration order.
+func (s *Snapshot) FeatureSetNames() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// NumObjects returns the number of indexed data objects.
+func (s *Snapshot) NumObjects() int { return s.engine.Objects().Len() }
+
+// NumFeatures returns the number of features per set, keyed by set name.
+func (s *Snapshot) NumFeatures() map[string]int {
+	out := make(map[string]int, len(s.names))
+	for i, name := range s.names {
+		out[name] = s.engine.Features()[i].Len()
+	}
+	return out
+}
+
+// TopK runs the query against the snapshot and returns the k best objects
+// with execution statistics. Safe for concurrent use.
+func (s *Snapshot) TopK(q Query) ([]Result, Stats, error) {
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var (
+		res []core.Result
+		st  core.Stats
+	)
+	if q.Algorithm == STDS {
+		res, st, err = s.engine.STDS(cq)
+	} else {
+		res, st, err = s.engine.STPS(cq)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, X: r.Location.X, Y: r.Location.Y, Score: r.Score}
+	}
+	return out, fromCoreStats(st), nil
+}
+
+// Score computes the exact spatio-textual preference score of an arbitrary
+// location under the query, by brute force. Intended for debugging and
+// verification, not for production use.
+func (s *Snapshot) Score(q Query, x, y float64) (float64, error) {
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	return s.engine.ExactScore(cq, geo.Point{X: x, Y: y})
+}
+
+// toCoreQuery validates and lowers a public query against the snapshot.
+func (s *Snapshot) toCoreQuery(q Query) (core.Query, error) {
+	if err := ValidateQuery(q, s.names); err != nil {
+		return core.Query{}, err
+	}
+	kws := make([]kwset.Set, len(s.names))
+	for i, name := range s.names {
+		kws[i] = s.vocab.LookupSet(q.Keywords[name]...)
+	}
+	return core.Query{
+		K:          q.K,
+		Radius:     q.Radius,
+		Lambda:     q.Lambda,
+		Keywords:   kws,
+		Variant:    core.Variant(q.Variant),
+		Similarity: index.Similarity(q.Similarity),
+	}, nil
+}
+
+// Rebuild reconstructs the indexes from the raw objects and feature sets —
+// including any added with AddObjects/AddFeatureSet since the last build —
+// and atomically swaps them in. Queries already in flight finish against
+// the previous snapshot; new snapshots observe an incremented Generation.
+// DBs loaded with Open do not retain the raw data and cannot be rebuilt.
+func (db *DB) Rebuild() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.built {
+		return fmt.Errorf("%w: Rebuild before Build", ErrNotBuilt)
+	}
+	if len(db.objects) == 0 {
+		return fmt.Errorf("stpq: Rebuild requires the raw data, which DBs loaded with Open do not retain")
+	}
+	// Intern into a clone so queries on the previous snapshot keep a
+	// stable vocabulary; buildLocked swaps db.engine and bumps db.gen.
+	db.vocab = db.vocab.Clone()
+	return db.buildLocked()
+}

@@ -204,14 +204,14 @@ type Stats struct {
 func (s Stats) Total() time.Duration { return s.CPUTime + s.IOTime }
 
 // DB is a queryable collection of data objects and named feature sets.
-// Populate it with AddObjects/AddFeatureSet, call Build once, then query
-// with TopK. After Build, a DB is safe for concurrent use: queries are
-// serialized internally, because the simulated buffer pools attribute
-// page-read statistics to one query at a time (exactly the paper's
-// measurement methodology). Mutations (AddObjects, AddFeatureSet, Build)
-// must not race with queries.
+// Populate it with AddObjects/AddFeatureSet, call Build, then query with
+// TopK. After Build, a DB is safe for concurrent use and queries run in
+// parallel: each query charges its page reads to a private accumulator, so
+// Stats keep the paper's exact per-query attribution even under load. Use
+// Snapshot for a pinned view, and Rebuild to swap in fresh indexes without
+// disturbing in-flight queries.
 type DB struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	cfg      Config
 	vocab    *kwset.Vocabulary
 	objects  []Object
@@ -221,6 +221,7 @@ type DB struct {
 	metrics  *obs.Registry
 	inverted map[string]*invindex.Index
 	built    bool
+	gen      uint64 // build generation: 1 after Build, +1 per Rebuild
 }
 
 // New creates an empty DB.
@@ -233,16 +234,21 @@ func New(cfg Config) *DB {
 	}
 }
 
-// AddObjects appends data objects. Must be called before Build.
+// AddObjects appends data objects. Must be called before Build (or, for
+// incremental growth, before a Rebuild).
 func (db *DB) AddObjects(objs []Object) *DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.objects = append(db.objects, objs...)
 	return db
 }
 
 // AddFeatureSet registers a named feature set (e.g. "restaurants").
 // Calling it again with the same name appends to that set. Must be called
-// before Build.
+// before Build (or, for incremental growth, before a Rebuild).
 func (db *DB) AddFeatureSet(name string, feats []Feature) *DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.sets[name]; !ok {
 		db.setNames = append(db.setNames, name)
 	}
@@ -253,17 +259,28 @@ func (db *DB) AddFeatureSet(name string, feats []Feature) *DB {
 // FeatureSetNames returns the registered feature set names in insertion
 // order — the order Keywords sets are matched against.
 func (db *DB) FeatureSetNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.setNames))
 	copy(out, db.setNames)
 	return out
 }
 
-// Build constructs the indexes. It must be called exactly once, after all
-// data has been added and before the first query.
+// Build constructs the indexes. It must be called exactly once, after the
+// initial data has been added and before the first query; to re-index
+// after adding more data, use Rebuild.
 func (db *DB) Build() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.built {
 		return errors.New("stpq: Build called twice")
 	}
+	return db.buildLocked()
+}
+
+// buildLocked validates the raw data, constructs the indexes and engine
+// against db.vocab, and publishes them. Callers hold db.mu.
+func (db *DB) buildLocked() error {
 	if len(db.objects) == 0 {
 		return errors.New("stpq: no data objects added")
 	}
@@ -326,6 +343,8 @@ func (db *DB) Build() error {
 		return err
 	}
 	db.built = true
+	db.gen++
+	db.inverted = nil // stale after a rebuild; lazily rebuilt by KeywordStats
 	return nil
 }
 
@@ -369,31 +388,14 @@ func poolLabel(name string) string {
 }
 
 // TopK runs the query and returns the k best objects with execution
-// statistics.
+// statistics. Safe for concurrent use after Build; queries run in
+// parallel against a snapshot of the current indexes.
 func (db *DB) TopK(q Query) ([]Result, Stats, error) {
-	cq, err := db.toCoreQuery(q)
+	snap, err := db.Snapshot()
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	var (
-		res []core.Result
-		st  core.Stats
-	)
-	if q.Algorithm == STDS {
-		res, st, err = db.engine.STDS(cq)
-	} else {
-		res, st, err = db.engine.STPS(cq)
-	}
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	out := make([]Result, len(res))
-	for i, r := range res {
-		out[i] = Result{ID: r.ID, X: r.Location.X, Y: r.Location.Y, Score: r.Score}
-	}
-	return out, fromCoreStats(st), nil
+	return snap.TopK(q)
 }
 
 // KeywordStat describes one keyword of a feature set.
@@ -411,8 +413,10 @@ type KeywordStat struct {
 // It is backed by an inverted index built on first use and helps users
 // gauge the selectivity of candidate query keywords.
 func (db *DB) KeywordStats(featureSet string) ([]KeywordStat, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.built {
-		return nil, errors.New("stpq: KeywordStats before Build")
+		return nil, fmt.Errorf("%w: KeywordStats before Build", ErrNotBuilt)
 	}
 	pos := -1
 	for i, name := range db.setNames {
@@ -422,7 +426,7 @@ func (db *DB) KeywordStats(featureSet string) ([]KeywordStat, error) {
 		}
 	}
 	if pos < 0 {
-		return nil, fmt.Errorf("stpq: unknown feature set %q", featureSet)
+		return nil, fmt.Errorf("%w %q", ErrUnknownFeatureSet, featureSet)
 	}
 	if db.inverted == nil {
 		db.inverted = make(map[string]*invindex.Index)
@@ -464,44 +468,26 @@ func (db *DB) Selectivity(featureSet string, keywords []string) (float64, error)
 	if _, err := db.KeywordStats(featureSet); err != nil {
 		return 0, err
 	}
-	return db.inverted[featureSet].Selectivity(db.vocab.LookupSet(keywords...)), nil
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ix, ok := db.inverted[featureSet]
+	if !ok {
+		// A concurrent Rebuild invalidated the inverted index between the
+		// two critical sections; the caller can simply retry.
+		return 0, fmt.Errorf("stpq: feature set %q was rebuilt concurrently", featureSet)
+	}
+	return ix.Selectivity(db.vocab.LookupSet(keywords...)), nil
 }
 
 // Score computes the exact spatio-textual preference score of an arbitrary
 // location under the query, by brute force. Intended for debugging and
 // verification, not for production use.
 func (db *DB) Score(q Query, x, y float64) (float64, error) {
-	cq, err := db.toCoreQuery(q)
+	snap, err := db.Snapshot()
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.engine.ExactScore(cq, geo.Point{X: x, Y: y})
-}
-
-// toCoreQuery validates and lowers a public query.
-func (db *DB) toCoreQuery(q Query) (core.Query, error) {
-	if !db.built {
-		return core.Query{}, errors.New("stpq: TopK before Build")
-	}
-	for name := range q.Keywords {
-		if _, ok := db.sets[name]; !ok {
-			return core.Query{}, fmt.Errorf("stpq: unknown feature set %q", name)
-		}
-	}
-	kws := make([]kwset.Set, len(db.setNames))
-	for i, name := range db.setNames {
-		kws[i] = db.vocab.LookupSet(q.Keywords[name]...)
-	}
-	return core.Query{
-		K:          q.K,
-		Radius:     q.Radius,
-		Lambda:     q.Lambda,
-		Keywords:   kws,
-		Variant:    core.Variant(q.Variant),
-		Similarity: index.Similarity(q.Similarity),
-	}, nil
+	return snap.Score(q, x, y)
 }
 
 // fromCoreStats converts internal stats to the public type.

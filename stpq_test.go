@@ -344,8 +344,8 @@ func TestSelectivity(t *testing.T) {
 	}
 }
 
-// TopK must be safe for concurrent callers after Build (queries are
-// serialized internally).
+// TopK must be safe for concurrent callers after Build (queries run in
+// parallel against session views with private read accounting).
 func TestConcurrentTopK(t *testing.T) {
 	db := paperDB(t, Config{})
 	q := paperQuery(3, STPS)
