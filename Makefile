@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke serve-smoke check
+.PHONY: build test race vet lint bench-smoke serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis and vulnerability scan. Each tool is optional locally —
+# install with `go install honnef.co/go/tools/cmd/staticcheck@latest` and
+# `go install golang.org/x/vuln/cmd/govulncheck@latest` — but CI runs both.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
 
 # A single small benchmark data point, one iteration: catches bit-rot in the
 # benchmark harness without the cost of a full sweep.

@@ -66,6 +66,9 @@ type Record struct {
 	PhysicalReads Quantiles        `json:"physical_reads"`
 	LogicalReads  Quantiles        `json:"logical_reads"`
 	Phases        []PhaseBreakdown `json:"phases,omitempty"`
+	// Counters carries experiment-specific totals over the whole workload
+	// (e.g. the shard sweep's scatter fanout/pruned counts).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // newRecord summarizes the per-query stats of one data point.

@@ -1,0 +1,138 @@
+package main
+
+// shard.go benchmarks the sharded scatter-gather engine: a shard-count
+// sweep (S = 1 is the plain single engine) over two workload shapes — the
+// paper's uniform-keyword synthetic data, where textual bounds cannot
+// separate regions and every shard must be queried, and a regionalized
+// variant (spatially correlated keywords, the shape of real POI data)
+// where small-radius range queries let the gather phase prune the shards
+// whose region cannot match. Results are identical across the sweep by
+// construction; the experiment measures what sharding costs or saves.
+//
+// Unlike the figure experiments, this one always writes its records to
+// BENCH_shard.json (in addition to -json, when given): the fanout/pruned
+// counters are the point of the experiment, and the text table has no
+// room for distributions.
+
+import (
+	"fmt"
+	"log"
+
+	"stpq/internal/core"
+	"stpq/internal/datagen"
+	"stpq/internal/index"
+	"stpq/internal/obs"
+	"stpq/internal/shard"
+)
+
+// shardBenchFile is where the shard sweep always saves its records.
+const shardBenchFile = "BENCH_shard.json"
+
+// shardParallelism fixes the scatter width so the wave-synchronous prune
+// decisions — and with them the fanout/pruned counters — are reproducible
+// across machines.
+const shardParallelism = 2
+
+// benchEngine is the query surface the sweep needs from both engines.
+type benchEngine interface {
+	STPS(core.Query) ([]core.Result, core.Stats, error)
+}
+
+func (b *bench) shardExp() {
+	header("shard sweep: scatter-gather vs single engine (STPS, SRT)")
+	uniform := b.synthetic(b.scaled(defObjects), b.scaled(defFeatures), defSets, defVocab)
+	regional := uniform.Regionalize(4, b.seed)
+	workloads := []struct {
+		name    string
+		ds      *datagen.Dataset
+		variant core.Variant
+	}{
+		{"uniform kw, range", uniform, core.RangeScore},
+		{"regional kw, range", regional, core.RangeScore},
+		{"regional kw, influence", regional, core.InfluenceScore},
+	}
+	var recs []Record
+	for _, wl := range workloads {
+		qc := b.defaultQC(wl.variant)
+		qc.NumKeywords = 2 // keep regional queries near-local (≤2 regions/set)
+		qs := wl.ds.GenQueries(b.queries, qc)
+		for _, shards := range []int{1, 2, 4, 8} {
+			reg := obs.NewRegistry()
+			e := b.shardEngine(wl.ds, shards, reg)
+			var (
+				acc core.Stats
+				per = make([]core.Stats, 0, len(qs))
+			)
+			for _, q := range qs {
+				_, st, err := e.STPS(q)
+				if err != nil {
+					log.Fatal(err)
+				}
+				acc.Add(st)
+				per = append(per, st)
+			}
+			label := fmt.Sprintf("  %s, S=%d", wl.name, shards)
+			rec := newRecord("shard", label, "SRT", "stps", qs, per)
+			cols := []string{cell(acc.Scale(len(qs)))}
+			if shards > 1 {
+				fanout := reg.Counter("stpq_shard_fanout_total").Value()
+				pruned := reg.Counter("stpq_shard_pruned_total").Value()
+				rec.Counters = map[string]int64{
+					"stpq_shard_fanout_total": fanout,
+					"stpq_shard_pruned_total": pruned,
+				}
+				cols = append(cols, fmt.Sprintf("fanout %.2f pruned %.2f /query",
+					float64(fanout)/float64(len(qs)), float64(pruned)/float64(len(qs))))
+			}
+			recs = append(recs, rec)
+			line(label, cols...)
+		}
+	}
+	if err := writeRecords(shardBenchFile, recs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d shard records to %s", len(recs), shardBenchFile)
+	if b.jsonPath != "" {
+		b.records = append(b.records, recs...)
+	}
+}
+
+// shardEngine builds the S-shard engine over ds (S = 1: the plain core
+// engine, built fresh so its buffer pools start cold like the sharded
+// ones). Scatter counters land in reg.
+func (b *bench) shardEngine(ds *datagen.Dataset, shards int, reg *obs.Registry) benchEngine {
+	opts := index.Options{Kind: index.SRT, VocabWidth: ds.VocabWidth, BufferPages: b.buffer}
+	if shards <= 1 {
+		oidx, err := index.BuildObjectIndex(ds.Objects, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fidxs := make([]*index.FeatureIndex, len(ds.FeatureSets))
+		for i, fs := range ds.FeatureSets {
+			fidxs[i], err = index.BuildFeatureIndex(fs, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		e, err := core.NewEngine(oidx, fidxs, core.Options{
+			BatchSTDS: true, CostModel: b.cost, Trace: b.jsonPath != "",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+	e, err := shard.New(ds.Objects, ds.FeatureSets, shard.Options{
+		Shards:      shards,
+		Parallelism: shardParallelism,
+		Index:       opts,
+		Core: core.Options{
+			BatchSTDS: true, CostModel: b.cost, Trace: b.jsonPath != "",
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}

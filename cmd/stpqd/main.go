@@ -5,14 +5,20 @@
 // Usage:
 //
 //	stpqd -synthetic -objects 20000 -features 20000 -addr :8080
+//	stpqd -synthetic -shards 4            # sharded scatter-gather engine
 //	stpqd -open data/db -workers 8 -queue 128 -timeout 2s
 //
 // Endpoints:
 //
 //	POST /query    {"k":5,"radius":0.1,"lambda":0.5,"keywords":{"set":["kw1"]}}
-//	GET  /healthz  liveness
+//	GET  /healthz  liveness; 503 until the index build completes
+//	GET  /readyz   alias of /healthz
 //	GET  /metrics  Prometheus text format
 //	GET  /info     dataset shape (used by stpqload)
+//
+// The listener comes up immediately; while the index is still building
+// every endpoint answers 503, so orchestrators can probe /healthz (or
+// /readyz) and withhold traffic until the build finishes.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: admission stops, queued and
 // in-flight queries drain, then the listener closes.
@@ -26,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -47,49 +54,97 @@ func main() {
 		vocab     = flag.Int("vocab", 256, "synthetic vocabulary size")
 		seed      = flag.Int64("seed", 1, "synthetic random seed")
 		indexKind = flag.String("index", "srt", "feature index for -synthetic: srt | ir2")
+		shards    = flag.Int("shards", 0, "partition -synthetic data into N shards queried scatter-gather (0 or 1 = single engine)")
+		strategy  = flag.String("shard-strategy", "hilbert", "shard partitioner: hilbert | grid")
 		workers   = flag.Int("workers", 0, "concurrent query executors (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "admission queue depth")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		cacheSize = flag.Int("cache", 256, "result cache entries (negative disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *open, *synthetic, *objects, *features, *sets, *vocab, *seed,
-		*indexKind, *workers, *queue, *timeout, *cacheSize); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, open: *open, synthetic: *synthetic,
+		objects: *objects, features: *features, sets: *sets, vocab: *vocab,
+		seed: *seed, indexKind: *indexKind, shards: *shards, strategy: *strategy,
+		serve: serve.Config{
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			Timeout:      *timeout,
+			CacheEntries: *cacheSize,
+		},
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, open string, synthetic bool, objects, features, sets, vocab int,
-	seed int64, indexKind string, workers, queue int, timeout time.Duration, cacheSize int) error {
-	db, err := loadDB(open, synthetic, objects, features, sets, vocab, seed, indexKind)
-	if err != nil {
-		return err
-	}
-	svc, err := serve.New(db, serve.Config{
-		Workers:      workers,
-		QueueDepth:   queue,
-		Timeout:      timeout,
-		CacheEntries: cacheSize,
-	})
-	if err != nil {
-		return err
-	}
+// daemonConfig carries the parsed flags.
+type daemonConfig struct {
+	addr, open          string
+	synthetic           bool
+	objects, features   int
+	sets, vocab         int
+	seed                int64
+	indexKind, strategy string
+	shards              int
+	serve               serve.Config
+}
 
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+func run(cfg daemonConfig) error {
+	// The listener comes up before the index: a swappable handler answers
+	// 503 (ErrNotBuilt) until the build completes, then the real service
+	// handler takes over.
+	var handler atomic.Pointer[http.Handler]
+	building := buildingHandler()
+	handler.Store(&building)
+	srv := &http.Server{
+		Addr: cfg.addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", addr)
+	log.Printf("listening on %s (healthz 503 until the index is built)", cfg.addr)
+
+	buildErrc := make(chan error, 1)
+	svcc := make(chan *serve.Service, 1)
+	go func() {
+		db, err := loadDB(cfg)
+		if err != nil {
+			buildErrc <- err
+			return
+		}
+		svc, err := serve.New(db, cfg.serve)
+		if err != nil {
+			buildErrc <- err
+			return
+		}
+		ready := svc.Handler()
+		handler.Store(&ready)
+		log.Printf("index ready: serving queries")
+		svcc <- svc
+	}()
 
 	select {
 	case err := <-errc:
 		return err
+	case err := <-buildErrc:
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		return err
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down: draining queries")
-	svc.Close() // stop admission, drain queue and in-flight queries
+	select {
+	case svc := <-svcc:
+		svc.Close() // stop admission, drain queue and in-flight queries
+	default: // interrupted before the build finished
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -102,30 +157,52 @@ func run(addr, open string, synthetic bool, objects, features, sets, vocab int,
 	return nil
 }
 
+// buildingHandler answers every request with 503 until the index build
+// completes; the body carries the library's not-built error so probes and
+// humans see the same message the API would return.
+func buildingHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"error\":%q}\n", stpq.ErrNotBuilt.Error())
+	})
+}
+
 // loadDB opens a persisted DB or builds a synthetic one.
-func loadDB(open string, synthetic bool, objects, features, sets, vocab int,
-	seed int64, indexKind string) (*stpq.DB, error) {
+func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 	switch {
-	case open != "" && synthetic:
+	case cfg.open != "" && cfg.synthetic:
 		return nil, errors.New("use either -open or -synthetic, not both")
-	case open != "":
-		log.Printf("opening %s", open)
-		return stpq.Open(open)
-	case synthetic:
+	case cfg.open != "":
+		if cfg.shards > 1 {
+			return nil, errors.New("-shards applies to -synthetic only (saved DBs are single-engine)")
+		}
+		log.Printf("opening %s", cfg.open)
+		return stpq.Open(cfg.open)
+	case cfg.synthetic:
 		kind := stpq.SRT
-		switch indexKind {
+		switch cfg.indexKind {
 		case "srt":
 		case "ir2":
 			kind = stpq.IR2
 		default:
-			return nil, fmt.Errorf("unknown -index %q", indexKind)
+			return nil, fmt.Errorf("unknown -index %q", cfg.indexKind)
 		}
-		log.Printf("building synthetic dataset: %d objects, %d×%d features, vocab %d",
-			objects, sets, features, vocab)
-		db := stpq.New(stpq.Config{IndexKind: kind})
+		var strat stpq.ShardStrategy
+		switch cfg.strategy {
+		case "", "hilbert":
+			strat = stpq.ShardHilbert
+		case "grid":
+			strat = stpq.ShardGrid
+		default:
+			return nil, fmt.Errorf("unknown -shard-strategy %q", cfg.strategy)
+		}
+		log.Printf("building synthetic dataset: %d objects, %d×%d features, vocab %d, shards %d",
+			cfg.objects, cfg.sets, cfg.features, cfg.vocab, cfg.shards)
+		db := stpq.New(stpq.Config{IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat})
 		ds := datagen.Synthetic(datagen.SyntheticConfig{
-			Objects: objects, FeaturesPerSet: features, FeatureSets: sets,
-			Vocab: vocab, Seed: seed,
+			Objects: cfg.objects, FeaturesPerSet: cfg.features, FeatureSets: cfg.sets,
+			Vocab: cfg.vocab, Seed: cfg.seed,
 		})
 		objs := make([]stpq.Object, len(ds.Objects))
 		for i, o := range ds.Objects {

@@ -8,6 +8,10 @@
 //
 //	stpqload -addr http://localhost:8080 -c 8 -duration 10s
 //	stpqload -addr http://localhost:8080 -n 1000 -k 10 -radius 0.05
+//	stpqload -addr http://localhost:8080 -warmup 100 -n 1000
+//
+// With -warmup N, the first N requests are sent before the clock starts
+// and are excluded from the reported throughput and latency percentiles.
 package main
 
 import (
@@ -42,10 +46,11 @@ func main() {
 		alg      = flag.String("algorithm", "stps", "algorithm: stps | stds")
 		kwPerSet = flag.Int("keywords", 2, "query keywords per feature set")
 		seed     = flag.Int64("seed", 1, "random seed for query generation")
+		warmup   = flag.Int("warmup", 0, "warmup requests sent before measuring; excluded from reported percentiles")
 	)
 	flag.Parse()
 	if err := run(*addr, *workers, *duration, *count, *k, *radius, *lambda,
-		*variant, *alg, *kwPerSet, *seed); err != nil {
+		*variant, *alg, *kwPerSet, *seed, *warmup); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -58,7 +63,7 @@ type sample struct {
 }
 
 func run(addr string, workers int, duration time.Duration, count, k int,
-	radius, lambda float64, variant, alg string, kwPerSet int, seed int64) error {
+	radius, lambda float64, variant, alg string, kwPerSet int, seed int64, warmup int) error {
 	addr = strings.TrimSuffix(addr, "/")
 
 	if err := checkHealthz(addr); err != nil {
@@ -82,40 +87,65 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 		addr, info.Objects, len(info.FeatureSets), info.Generation)
 
 	var (
-		wg       sync.WaitGroup
-		samples  = make([]*sample, workers)
-		deadline = time.Now().Add(duration)
-		// budget distributes -n across workers; <0 means run on -duration.
-		budget = count
+		wg      sync.WaitGroup
+		samples = make([]*sample, workers)
+		rngs    = make([]*rand.Rand, workers)
 	)
-	perWorker := func(i int) int {
-		if count <= 0 {
-			return -1
+	// split distributes n across workers.
+	split := func(n, i int) int {
+		m := n / workers
+		if i < n%workers {
+			m++
 		}
-		n := budget / workers
-		if i < budget%workers {
-			n++
-		}
-		return n
+		return m
 	}
+	newReq := func(rng *rand.Rand) serve.QueryRequest {
+		return serve.QueryRequest{
+			K: k, Radius: radius, Lambda: lambda,
+			Variant: variant, Algorithm: alg,
+			Keywords: randomKeywords(rng, names, info.Keywords, kwPerSet),
+		}
+	}
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+
+	// Warmup phase: -warmup requests are fired into a discarded sample so
+	// cold caches and JIT'd connection setup never pollute the reported
+	// percentiles; the clock starts after the phase completes.
+	if warmup > 0 {
+		log.Printf("warming up: %d requests (excluded from the report)", warmup)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				discard := &sample{errs: make(map[int]int)}
+				for n := split(warmup, i); n > 0; n-- {
+					fire(addr, newReq(rngs[i]), discard)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
 	start := time.Now()
+	deadline := start.Add(duration)
 	for i := 0; i < workers; i++ {
 		samples[i] = &sample{errs: make(map[int]int)}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(i)))
 			s := samples[i]
-			for n := perWorker(i); n != 0; n-- {
+			// -n budget per worker; <0 means run on -duration.
+			n := -1
+			if count > 0 {
+				n = split(count, i)
+			}
+			for ; n != 0; n-- {
 				if count <= 0 && time.Now().After(deadline) {
 					return
 				}
-				req := serve.QueryRequest{
-					K: k, Radius: radius, Lambda: lambda,
-					Variant: variant, Algorithm: alg,
-					Keywords: randomKeywords(rng, names, info.Keywords, kwPerSet),
-				}
-				fire(addr, req, s)
+				fire(addr, newReq(rngs[i]), s)
 			}
 		}(i)
 	}

@@ -116,11 +116,11 @@ func TestFirstCombinationIsGlobalBest(t *testing.T) {
 
 // bruteBestComboScore enumerates all pairs (t_1, t_2) including ∅ slots.
 func bruteBestComboScore(t *testing.T, w *testWorld, q Query) float64 {
-	f0, err := w.engine.features[0].Tree().All()
+	f0, err := w.engine.features[0].Part(0).Tree().All()
 	if err != nil {
 		t.Fatal(err)
 	}
-	f1, err := w.engine.features[1].Tree().All()
+	f1, err := w.engine.features[1].Part(0).Tree().All()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestUnfilteredStreamCountsCrossProduct(t *testing.T) {
 	combos := drainCombinations(t, w, q, false, 1<<20)
 	// Count relevant features per set.
 	relevant := func(set int) int {
-		all, err := w.engine.features[set].Tree().All()
+		all, err := w.engine.features[set].Part(0).Tree().All()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -389,7 +389,7 @@ func TestQueryValidation(t *testing.T) {
 
 func TestNewEngineValidation(t *testing.T) {
 	w := buildWorld(t, 114, 10, 10, 1, 8, index.SRT, Options{})
-	if _, err := NewEngine(nil, w.engine.Features(), Options{}); err == nil {
+	if _, err := NewEngineWithGroups(nil, w.engine.FeatureGroups(), Options{}); err == nil {
 		t.Error("nil object index must fail")
 	}
 	if _, err := NewEngine(w.engine.Objects(), nil, Options{}); err == nil {
@@ -397,6 +397,9 @@ func TestNewEngineValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(w.engine.Objects(), []*index.FeatureIndex{nil}, Options{}); err == nil {
 		t.Error("nil feature index must fail")
+	}
+	if _, err := NewEngineWithGroups(w.engine.Objects(), []*index.FeatureGroup{nil}, Options{}); err == nil {
+		t.Error("nil feature group must fail")
 	}
 }
 

@@ -28,26 +28,32 @@ type featureRef struct {
 // paying the verification page read — and re-enqueues it with its exact
 // score, preserving the global non-increasing order.
 type featureStream struct {
-	idx       *index.FeatureIndex
+	g         *index.FeatureGroup
 	pq        index.PreparedQuery
 	heap      boundHeap
 	exhausted bool
 }
 
-// newFeatureStream seeds the stream with the index root. A query with no
-// keywords for this set makes every feature irrelevant, so the stream
-// yields only ∅.
-func newFeatureStream(idx *index.FeatureIndex, q index.QueryKeywords) (*featureStream, error) {
-	s := &featureStream{idx: idx, pq: idx.Prepare(q)}
-	if idx.Len() == 0 || q.Set.IsEmpty() {
+// newFeatureStream seeds the stream with every part root of the group; the
+// shared bound heap merges the part trees into one globally non-increasing
+// score stream. A query with no keywords for this set makes every feature
+// irrelevant, so the stream yields only ∅.
+func newFeatureStream(g *index.FeatureGroup, q index.QueryKeywords) (*featureStream, error) {
+	s := &featureStream{g: g, pq: g.Prepare(q)}
+	if g.Len() == 0 || q.Set.IsEmpty() {
 		return s, nil
 	}
-	root, err := idx.Tree().RootEntry()
-	if err != nil {
-		return nil, err
-	}
-	if idx.EntryRelevant(root, s.pq) {
-		heap.Push(&s.heap, boundItem{entry: root, bound: idx.EntryBound(root, s.pq)})
+	for pi, part := range g.Parts() {
+		if part.Len() == 0 {
+			continue
+		}
+		root, err := part.Tree().RootEntry()
+		if err != nil {
+			return nil, err
+		}
+		if part.EntryRelevant(root, s.pq) {
+			heap.Push(&s.heap, boundItem{entry: root, part: pi, bound: part.EntryBound(root, s.pq)})
+		}
 	}
 	return s, nil
 }
@@ -57,11 +63,12 @@ func newFeatureStream(idx *index.FeatureIndex, q index.QueryKeywords) (*featureS
 func (s *featureStream) next() (ref featureRef, done bool, err error) {
 	for s.heap.Len() > 0 {
 		it := heap.Pop(&s.heap).(boundItem)
+		idx := s.g.Part(it.part)
 		if it.entry.Leaf {
 			if it.resolved {
 				return featureRef{entry: it.entry, score: it.bound}, false, nil
 			}
-			score, relevant, err := s.idx.ResolveLeaf(it.entry, s.pq)
+			score, relevant, err := idx.ResolveLeaf(it.entry, s.pq)
 			if err != nil {
 				return featureRef{}, false, err
 			}
@@ -71,18 +78,18 @@ func (s *featureStream) next() (ref featureRef, done bool, err error) {
 			if s.heap.Len() == 0 || score >= s.heap[0].bound-1e-12 {
 				return featureRef{entry: it.entry, score: score}, false, nil
 			}
-			heap.Push(&s.heap, boundItem{entry: it.entry, bound: score, resolved: true})
+			heap.Push(&s.heap, boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
 			continue
 		}
-		node, err := s.idx.Tree().Node(it.entry.Child)
+		node, err := idx.Tree().Node(it.entry.Child)
 		if err != nil {
 			return featureRef{}, false, err
 		}
 		for _, c := range node.Entries {
-			if !s.idx.EntryRelevant(c, s.pq) {
+			if !idx.EntryRelevant(c, s.pq) {
 				continue
 			}
-			heap.Push(&s.heap, boundItem{entry: c, bound: s.idx.EntryBound(c, s.pq)})
+			heap.Push(&s.heap, boundItem{entry: c, part: it.part, bound: idx.EntryBound(c, s.pq)})
 		}
 	}
 	if !s.exhausted {
@@ -92,10 +99,12 @@ func (s *featureStream) next() (ref featureRef, done bool, err error) {
 	return featureRef{}, true, nil
 }
 
-// boundItem pairs an entry with its score bound ŝ(e); resolved marks leaf
-// entries whose bound is already the exact score.
+// boundItem pairs an entry with its score bound ŝ(e) and the feature-group
+// part it came from; resolved marks leaf entries whose bound is already the
+// exact score.
 type boundItem struct {
 	entry    rtree.Entry
+	part     int
 	bound    float64
 	resolved bool
 }

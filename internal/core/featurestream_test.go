@@ -65,7 +65,7 @@ func TestFeatureStreamOrderAndCoverage(t *testing.T) {
 			}
 		}
 		// Coverage: exactly the relevant features.
-		all, err := w.engine.features[0].Tree().All()
+		all, err := w.engine.features[0].Part(0).Tree().All()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +124,7 @@ func TestFeatureStreamMatchesInvertedIndex(t *testing.T) {
 	if len(got) == 0 {
 		t.Skip("query matched nothing")
 	}
-	all, err := w.engine.features[0].Tree().All()
+	all, err := w.engine.features[0].Part(0).Tree().All()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -265,7 +265,7 @@ func (o Options) withDefaults() Options {
 // buffer pools (shared page caches) are internally synchronized.
 type Engine struct {
 	objects  *index.ObjectIndex
-	features []*index.FeatureIndex
+	features []*index.FeatureGroup
 	opts     Options
 	// trace is the tracing toggle, shared by all sessions so SetTrace
 	// takes effect for queries already in flight elsewhere.
@@ -309,7 +309,7 @@ func (e *Engine) session() *Engine {
 	s := *e
 	s.reads = acct
 	s.objects = e.objects.Session(acct)
-	feats := make([]*index.FeatureIndex, len(e.features))
+	feats := make([]*index.FeatureGroup, len(e.features))
 	for i, f := range e.features {
 		feats[i] = f.Session(acct)
 	}
@@ -317,18 +317,38 @@ func (e *Engine) session() *Engine {
 	return &s
 }
 
-// NewEngine creates an engine. All feature indexes must share the engine's
+// NewEngine creates an engine over plain feature indexes, each becoming a
+// single-part feature group. All feature indexes must share the engine's
 // vocabulary width; queries carry one keyword set per feature index.
 func NewEngine(objects *index.ObjectIndex, features []*index.FeatureIndex, opts Options) (*Engine, error) {
-	if objects == nil {
-		return nil, errors.New("core: nil object index")
-	}
 	if len(features) == 0 {
 		return nil, errors.New("core: at least one feature index required")
 	}
 	for i, f := range features {
 		if f == nil {
 			return nil, fmt.Errorf("core: feature index %d is nil", i)
+		}
+	}
+	groups, err := index.GroupEach(features)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineWithGroups(objects, groups, opts)
+}
+
+// NewEngineWithGroups creates an engine whose feature sets are forests of
+// index parts (used by the sharded engine, where each sub-engine pairs its
+// local object index with the globally shared feature groups).
+func NewEngineWithGroups(objects *index.ObjectIndex, features []*index.FeatureGroup, opts Options) (*Engine, error) {
+	if objects == nil {
+		return nil, errors.New("core: nil object index")
+	}
+	if len(features) == 0 {
+		return nil, errors.New("core: at least one feature group required")
+	}
+	for i, g := range features {
+		if g == nil {
+			return nil, fmt.Errorf("core: feature group %d is nil", i)
 		}
 	}
 	e := &Engine{objects: objects, features: features, opts: opts.withDefaults(), trace: &atomic.Bool{}}
@@ -347,17 +367,22 @@ func (e *Engine) PrecomputeVoronoiCells() error {
 	if e.cells == nil {
 		return errors.New("core: PrecomputeVoronoiCells requires Options.CacheVoronoiCells")
 	}
-	for i, f := range e.features {
-		all, err := f.Tree().All()
-		if err != nil {
-			return err
-		}
-		for _, entry := range all {
-			cell, err := e.voronoiCell(i, entry)
+	for i, g := range e.features {
+		for _, part := range g.Parts() {
+			if part.Len() == 0 {
+				continue
+			}
+			all, err := part.Tree().All()
 			if err != nil {
 				return err
 			}
-			e.cells.put(cellKey{set: i, id: entry.ItemID}, cell)
+			for _, entry := range all {
+				cell, err := e.voronoiCell(i, entry)
+				if err != nil {
+					return err
+				}
+				e.cells.put(cellKey{set: i, id: entry.ItemID}, cell)
+			}
 		}
 	}
 	return nil
@@ -366,8 +391,12 @@ func (e *Engine) PrecomputeVoronoiCells() error {
 // Objects returns the engine's data-object index.
 func (e *Engine) Objects() *index.ObjectIndex { return e.objects }
 
-// Features returns the engine's feature indexes.
-func (e *Engine) Features() []*index.FeatureIndex { return e.features }
+// NumObjects returns the number of indexed data objects.
+func (e *Engine) NumObjects() int { return e.objects.Len() }
+
+// FeatureGroups returns the engine's feature sets as groups of index parts
+// (single-part groups on an unsharded engine).
+func (e *Engine) FeatureGroups() []*index.FeatureGroup { return e.features }
 
 // Options returns the engine options.
 func (e *Engine) Options() Options { return e.opts }
@@ -434,7 +463,13 @@ func finishTrace(tr *obs.Trace, stats *Stats) {
 
 // observeQuery feeds one finished query into the metrics registry.
 func (e *Engine) observeQuery(alg string, q *Query, st *Stats) {
-	r := e.opts.Metrics
+	ObserveQuery(e.opts.Metrics, alg, q, st)
+}
+
+// ObserveQuery feeds one finished query into a metrics registry. It is
+// exported for engine wrappers (the sharded engine) that must observe the
+// merged query exactly once instead of once per sub-engine.
+func ObserveQuery(r *obs.Registry, alg string, q *Query, st *Stats) {
 	if r == nil {
 		return
 	}
@@ -446,6 +481,55 @@ func (e *Engine) observeQuery(alg string, q *Query, st *Stats) {
 	r.Counter("stpq_combinations_total" + label).Add(int64(st.Combinations))
 	r.Counter("stpq_features_pulled_total" + label).Add(int64(st.FeaturesPulled))
 	r.Counter("stpq_objects_scored_total" + label).Add(int64(st.ObjectsScored))
+}
+
+// UpperBound returns a sound upper bound on τ(p) for every location p
+// inside rect: per feature set, the best root-level score bound over the
+// parts that can contribute, tightened per variant — range parts farther
+// than r from rect are skipped entirely (no feature of theirs can be in
+// range of any p ∈ rect), influence bounds decay by 2^(−mindist/r), NN
+// keeps the raw textual bound (the nearest neighbor can be arbitrarily
+// close). The sharded engine uses this per shard MBR to order and prune
+// the scatter phase.
+func (e *Engine) UpperBound(q Query, rect geo.Rect) (float64, error) {
+	if err := q.Validate(len(e.features)); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, g := range e.features {
+		qk := q.keywordsFor(i)
+		if g.Len() == 0 || qk.Set.IsEmpty() {
+			continue
+		}
+		prepared := g.Prepare(qk)
+		best := 0.0
+		for _, part := range g.Parts() {
+			if part.Len() == 0 {
+				continue
+			}
+			root, err := part.Tree().RootEntry()
+			if err != nil {
+				return 0, err
+			}
+			if !part.EntryRelevant(root, prepared) {
+				continue
+			}
+			b := part.EntryBound(root, prepared)
+			switch q.Variant {
+			case RangeScore:
+				if geo.RectMinDist(rect, root.Rect) > q.Radius {
+					continue
+				}
+			case InfluenceScore:
+				b *= math.Exp2(-geo.RectMinDist(rect, root.Rect) / q.Radius)
+			}
+			if b > best {
+				best = b
+			}
+		}
+		total += best
+	}
+	return total, nil
 }
 
 // virtualScore is the score of the virtual feature ∅ (paper Section 6.1).

@@ -128,7 +128,7 @@ func TestSignatureModeCostsVerificationIO(t *testing.T) {
 // Insert must keep signature mode consistent (records + hashed tree).
 func TestSignatureModeInsert(t *testing.T) {
 	w := buildSigWorld(t, 606, 100, 100, 1, 16, 6, index.SRT)
-	idx := w.engine.Features()[0]
+	idx := w.engine.FeatureGroups()[0].Part(0)
 	kw := kwset.SetFromWords(16, 3, 7)
 	if err := idx.Insert(index.Feature{ID: 5000, Location: geo.Point{X: 0.5, Y: 0.5}, Score: 0.9, Keywords: kw}); err != nil {
 		t.Fatal(err)

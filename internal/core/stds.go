@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"stpq/internal/geo"
+	"stpq/internal/index"
 	"stpq/internal/obs"
 	"stpq/internal/rtree"
 )
@@ -46,8 +47,24 @@ func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
 	return results, stats, nil
 }
 
-// topkAccumulator keeps the k highest-scoring objects and the running
-// threshold τ (the k-th best score so far, Algorithm 1 line 9).
+// betterResult is the total order on results used everywhere: score
+// descending, ties broken by ascending id. Making membership in the top-k
+// a pure function of the scored object set (instead of scan order) is what
+// lets the sharded engine merge per-shard answers into a byte-identical
+// global answer.
+func betterResult(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// ResultBefore exposes the result total order (score descending, ties by
+// ascending id) to engine wrappers that merge per-engine answers.
+func ResultBefore(a, b Result) bool { return betterResult(a, b) }
+
+// topkAccumulator keeps the k best objects under betterResult and the
+// running threshold τ (the k-th best score so far, Algorithm 1 line 9).
 type topkAccumulator struct {
 	k    int
 	heap resultMinHeap
@@ -55,8 +72,13 @@ type topkAccumulator struct {
 
 func newTopkAccumulator(k int) *topkAccumulator { return &topkAccumulator{k: k} }
 
+// full reports whether k objects have been accepted.
+func (a *topkAccumulator) full() bool { return a.heap.Len() >= a.k }
+
 // threshold returns τ: the k-th best score, or −∞ while fewer than k
-// objects have been accepted.
+// objects have been accepted. Objects scoring exactly τ can still enter
+// the top-k by winning the id tie-break, so callers must prune only
+// strictly below τ.
 func (a *topkAccumulator) threshold() float64 {
 	if a.heap.Len() < a.k {
 		return negInf
@@ -70,7 +92,7 @@ func (a *topkAccumulator) offer(r Result) {
 		heap.Push(&a.heap, r)
 		return
 	}
-	if r.Score > a.heap[0].Score {
+	if betterResult(r, a.heap[0]) {
 		a.heap[0] = r
 		heap.Fix(&a.heap, 0)
 	}
@@ -84,11 +106,12 @@ func (a *topkAccumulator) results() []Result {
 	return out
 }
 
-// resultMinHeap is a min-heap by score (root = current k-th best).
+// resultMinHeap keeps the worst kept result (under betterResult) at the
+// root, so the accumulator evicts it first.
 type resultMinHeap []Result
 
 func (h resultMinHeap) Len() int            { return len(h) }
-func (h resultMinHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultMinHeap) Less(i, j int) bool  { return betterResult(h[j], h[i]) }
 func (h resultMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultMinHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
 func (h *resultMinHeap) Pop() interface{} {
@@ -116,8 +139,10 @@ func (e *Engine) stdsSingle(q *Query, stats *Stats, tr *obs.Trace) ([]Result, er
 		sum := 0.0
 		complete := true
 		for i := 0; i < c; i++ {
-			// τ̂(p): known scores plus the maximum 1 per unknown set.
-			if sum+float64(c-i) <= acc.threshold() {
+			// τ̂(p): known scores plus the maximum 1 per unknown set. Prune
+			// only strictly below τ — an object tying the k-th score can
+			// still win the id tie-break.
+			if acc.full() && sum+float64(c-i) < acc.threshold() {
 				complete = false
 				break
 			}
@@ -129,7 +154,7 @@ func (e *Engine) stdsSingle(q *Query, stats *Stats, tr *obs.Trace) ([]Result, er
 			}
 			sum += ti
 		}
-		if complete && sum > acc.threshold() {
+		if complete {
 			acc.offer(Result{ID: obj.ItemID, Location: obj.Point(), Score: sum})
 		}
 	}
@@ -148,23 +173,28 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 	case NearestNeighborScore:
 		return e.computeNNScore(set, q, p)
 	}
-	idx := e.features[set]
+	g := e.features[set]
 	qk := q.keywordsFor(set)
-	tree := idx.Tree()
-	if idx.Len() == 0 || qk.Set.IsEmpty() {
+	if g.Len() == 0 || qk.Set.IsEmpty() {
 		return 0, nil
 	}
-	prepared := idx.Prepare(qk)
-	root, err := tree.RootEntry()
-	if err != nil {
-		return 0, err
-	}
+	prepared := g.Prepare(qk)
 	pq := &boundHeap{}
-	if idx.EntryRelevant(root, prepared) && root.Rect.MinDist(p) <= q.Radius {
-		heap.Push(pq, boundItem{entry: root, bound: idx.EntryBound(root, prepared)})
+	for pi, part := range g.Parts() {
+		if part.Len() == 0 {
+			continue
+		}
+		root, err := part.Tree().RootEntry()
+		if err != nil {
+			return 0, err
+		}
+		if part.EntryRelevant(root, prepared) && root.Rect.MinDist(p) <= q.Radius {
+			heap.Push(pq, boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared)})
+		}
 	}
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(boundItem)
+		idx := g.Part(it.part)
 		if it.entry.Leaf {
 			if it.entry.Point().Dist(p) > q.Radius {
 				continue
@@ -182,10 +212,10 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 			if pq.Len() == 0 || score >= (*pq)[0].bound-1e-12 {
 				return score, nil
 			}
-			heap.Push(pq, boundItem{entry: it.entry, bound: score, resolved: true})
+			heap.Push(pq, boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
 			continue
 		}
-		n, err := tree.Node(it.entry.Child)
+		n, err := idx.Tree().Node(it.entry.Child)
 		if err != nil {
 			return 0, err
 		}
@@ -196,7 +226,7 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 			if child.Rect.MinDist(p) > q.Radius {
 				continue
 			}
-			heap.Push(pq, boundItem{entry: child, bound: idx.EntryBound(child, prepared)})
+			heap.Push(pq, boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared)})
 		}
 	}
 	return 0, nil
@@ -207,17 +237,12 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 // feature popped is exact because its priority dominates all bounds left
 // in the heap.
 func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, error) {
-	idx := e.features[set]
+	g := e.features[set]
 	qk := q.keywordsFor(set)
-	tree := idx.Tree()
-	if idx.Len() == 0 || qk.Set.IsEmpty() {
+	if g.Len() == 0 || qk.Set.IsEmpty() {
 		return 0, nil
 	}
-	prepared := idx.Prepare(qk)
-	root, err := tree.RootEntry()
-	if err != nil {
-		return 0, err
-	}
+	prepared := g.Prepare(qk)
 	decay := func(en rtree.Entry) float64 {
 		var d float64
 		if en.Leaf {
@@ -228,11 +253,21 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 		return math.Exp2(-d / q.Radius)
 	}
 	pq := &boundHeap{}
-	if idx.EntryRelevant(root, prepared) {
-		heap.Push(pq, boundItem{entry: root, bound: idx.EntryBound(root, prepared) * decay(root)})
+	for pi, part := range g.Parts() {
+		if part.Len() == 0 {
+			continue
+		}
+		root, err := part.Tree().RootEntry()
+		if err != nil {
+			return 0, err
+		}
+		if part.EntryRelevant(root, prepared) {
+			heap.Push(pq, boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared) * decay(root)})
+		}
 	}
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(boundItem)
+		idx := g.Part(it.part)
 		if it.entry.Leaf {
 			if it.resolved {
 				return it.bound, nil
@@ -248,10 +283,10 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 			if pq.Len() == 0 || exact >= (*pq)[0].bound-1e-12 {
 				return exact, nil
 			}
-			heap.Push(pq, boundItem{entry: it.entry, bound: exact, resolved: true})
+			heap.Push(pq, boundItem{entry: it.entry, part: it.part, bound: exact, resolved: true})
 			continue
 		}
-		n, err := tree.Node(it.entry.Child)
+		n, err := idx.Tree().Node(it.entry.Child)
 		if err != nil {
 			return 0, err
 		}
@@ -259,7 +294,7 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 			if !idx.EntryRelevant(child, prepared) {
 				continue
 			}
-			heap.Push(pq, boundItem{entry: child, bound: idx.EntryBound(child, prepared) * decay(child)})
+			heap.Push(pq, boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared) * decay(child)})
 		}
 	}
 	return 0, nil
@@ -270,19 +305,20 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 // neighbor is defined over the whole feature set), and the first feature
 // popped is p's NN; its score counts only if it is textually relevant.
 func (e *Engine) computeNNScore(set int, q *Query, p pointArg) (float64, error) {
-	idx := e.features[set]
+	g := e.features[set]
 	qk := q.keywordsFor(set)
-	if idx.Len() == 0 || qk.Set.IsEmpty() {
+	if g.Len() == 0 || qk.Set.IsEmpty() {
 		return 0, nil
 	}
-	prepared := idx.Prepare(qk)
+	prepared := g.Prepare(qk)
 	var (
 		score      float64
 		resolveErr error
 	)
-	err := idx.Tree().AscendDistance(p, func(en rtree.Entry, _ float64) bool {
+	err := groupAscendDistance(g, p, func(part int, en rtree.Entry, _ float64) bool {
 		// First popped leaf is the nearest neighbor; its score counts
 		// only if it is truly relevant (signature hits are verified).
+		idx := g.Part(part)
 		if idx.EntryRelevant(en, prepared) {
 			s, relevant, err := idx.ResolveLeaf(en, prepared)
 			if err != nil {
@@ -297,6 +333,65 @@ func (e *Engine) computeNNScore(set int, q *Query, p pointArg) (float64, error) 
 		err = resolveErr
 	}
 	return score, err
+}
+
+// groupAscendDistance streams a feature group's leaf entries in increasing
+// distance from center, merging the group's part trees through one shared
+// min-distance heap (the multi-tree analogue of rtree.AscendDistance). For
+// the NN variant on a sharded engine this is the cross-border rule: a part's
+// candidate leaf is popped — and thus final — only once its distance beats
+// the mindist of every unvisited subtree of every other part.
+func groupAscendDistance(g *index.FeatureGroup, center geo.Point, fn func(part int, en rtree.Entry, d float64) bool) error {
+	h := &distHeap{}
+	for pi, part := range g.Parts() {
+		if part.Len() == 0 {
+			continue
+		}
+		root, err := part.Tree().RootEntry()
+		if err != nil {
+			return err
+		}
+		heap.Push(h, distItem{entry: root, part: pi, dist: root.Rect.MinDist(center)})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.entry.Leaf {
+			if !fn(it.part, it.entry, it.dist) {
+				return nil
+			}
+			continue
+		}
+		n, err := g.Part(it.part).Tree().Node(it.entry.Child)
+		if err != nil {
+			return err
+		}
+		for _, c := range n.Entries {
+			heap.Push(h, distItem{entry: c, part: it.part, dist: c.Rect.MinDist(center)})
+		}
+	}
+	return nil
+}
+
+// distItem pairs an entry with its part of origin and minimum distance.
+type distItem struct {
+	entry rtree.Entry
+	part  int
+	dist  float64
+}
+
+// distHeap is a min-heap by distance.
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
 }
 
 // pointArg aliases geo.Point to keep the compute-score signatures compact.

@@ -36,22 +36,23 @@ func (e *Engine) stdsBatch(q *Query, stats *Stats, tr *obs.Trace) ([]Result, err
 				return false
 			}
 			// τ̂ pruning between feature sets (Algorithm 1 line 6): drop
-			// objects whose best possible total cannot beat the current
-			// threshold.
+			// objects whose best possible total is strictly below the
+			// current threshold (a tie can still win the id tie-break).
+			if !acc.full() {
+				continue
+			}
 			tau := acc.threshold()
 			remaining := float64(c - set - 1)
 			kept := active[:0]
 			for _, o := range active {
-				if o.sum+remaining > tau {
+				if o.sum+remaining >= tau {
 					kept = append(kept, o)
 				}
 			}
 			active = kept
 		}
 		for _, o := range active {
-			if o.sum > acc.threshold() {
-				acc.offer(Result{ID: o.entry.ItemID, Location: o.entry.Point(), Score: o.sum})
-			}
+			acc.offer(Result{ID: o.entry.ItemID, Location: o.entry.Point(), Score: o.sum})
 		}
 		return true
 	})
@@ -74,19 +75,14 @@ type batchObj struct {
 // batchRangeScores runs the batched Algorithm 2 for one feature set,
 // adding each object's τ_i(p) to its running sum.
 func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
-	idx := e.features[set]
+	g := e.features[set]
 	qk := q.keywordsFor(set)
-	if idx.Len() == 0 || qk.Set.IsEmpty() {
+	if g.Len() == 0 || qk.Set.IsEmpty() {
 		return nil // every τ_i is 0
 	}
-	prepared := idx.Prepare(qk)
+	prepared := g.Prepare(qk)
 	for _, o := range batch {
 		o.resolved = false
-	}
-	tree := idx.Tree()
-	root, err := tree.RootEntry()
-	if err != nil {
-		return err
 	}
 	unresolved := len(batch)
 	withinAny := func(en rtree.Entry) bool {
@@ -113,11 +109,21 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 		}
 	}
 	pq := &boundHeap{}
-	if idx.EntryRelevant(root, prepared) && withinAny(root) {
-		heap.Push(pq, boundItem{entry: root, bound: idx.EntryBound(root, prepared)})
+	for pi, part := range g.Parts() {
+		if part.Len() == 0 {
+			continue
+		}
+		root, err := part.Tree().RootEntry()
+		if err != nil {
+			return err
+		}
+		if part.EntryRelevant(root, prepared) && withinAny(root) {
+			heap.Push(pq, boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared)})
+		}
 	}
 	for pq.Len() > 0 && unresolved > 0 {
 		it := heap.Pop(pq).(boundItem)
+		idx := g.Part(it.part)
 		if it.entry.Leaf {
 			fp := it.entry.Point()
 			if it.resolved {
@@ -137,11 +143,11 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 			if pq.Len() == 0 || score >= (*pq)[0].bound-1e-12 {
 				assign(fp, score)
 			} else {
-				heap.Push(pq, boundItem{entry: it.entry, bound: score, resolved: true})
+				heap.Push(pq, boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
 			}
 			continue
 		}
-		n, err := tree.Node(it.entry.Child)
+		n, err := idx.Tree().Node(it.entry.Child)
 		if err != nil {
 			return err
 		}
@@ -152,7 +158,7 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 			if !withinAny(child) {
 				continue
 			}
-			heap.Push(pq, boundItem{entry: child, bound: idx.EntryBound(child, prepared)})
+			heap.Push(pq, boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared)})
 		}
 	}
 	return nil

@@ -47,29 +47,27 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	return results, stats, nil
 }
 
-// sortResults orders by score descending, breaking ties by id for
-// deterministic output.
+// sortResults orders by the total order betterResult (score descending,
+// ties by ascending id) for deterministic output.
 func sortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
-		}
-		return rs[i].ID < rs[j].ID
-	})
+	sort.Slice(rs, func(i, j int) bool { return betterResult(rs[i], rs[j]) })
 }
 
 // stpsRange is Algorithm 3: emit valid combinations in non-increasing
 // score; every not-yet-seen data object within distance r of all feature
 // objects of the combination has exactly that combination's score
-// (Lemma 1), so results stream out in final order.
+// (Lemma 1). Objects are collected through the tie-aware accumulator and
+// the loop stops only once the combination score drops strictly below the
+// k-th result — combinations tying it can still contribute objects that
+// win the id tie-break.
 func (e *Engine) stpsRange(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
 	cs, err := newCombinationStream(e, q, true, stats, tr)
 	if err != nil {
 		return nil, err
 	}
 	seen := make(map[int64]bool)
-	results := make([]Result, 0, q.K)
-	for len(results) < q.K {
+	acc := newTopkAccumulator(q.K)
+	for {
 		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
 		sp.End()
@@ -79,7 +77,9 @@ func (e *Engine) stpsRange(q *Query, stats *Stats, tr *obs.Trace) ([]Result, err
 		if !ok {
 			break
 		}
-		limit := q.K - len(results)
+		if acc.full() && comb.score < acc.threshold() {
+			break
+		}
 		sp = tr.StartPhase("objects.retrieve")
 		err = e.objectsMatchingRangeCombo(comb, q.Radius, func(entry rtree.Entry) bool {
 			if seen[entry.ItemID] {
@@ -87,16 +87,15 @@ func (e *Engine) stpsRange(q *Query, stats *Stats, tr *obs.Trace) ([]Result, err
 			}
 			seen[entry.ItemID] = true
 			stats.ObjectsScored++
-			results = append(results, Result{ID: entry.ItemID, Location: entry.Point(), Score: comb.score})
-			limit--
-			return limit > 0
+			acc.offer(Result{ID: entry.ItemID, Location: entry.Point(), Score: comb.score})
+			return true
 		})
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
 	}
-	return results, nil
+	return acc.results(), nil
 }
 
 // objectsMatchingRangeCombo visits data objects within distance r of every
@@ -149,19 +148,20 @@ func (e *Engine) stpsInfluence(q *Query, stats *Stats, tr *obs.Trace) ([]Result,
 		if !ok {
 			break
 		}
-		if acc.full() && comb.score <= acc.threshold() {
+		if acc.full() && comb.score < acc.threshold() {
 			break
 		}
 		// Geometric refinement: s(C) assumes an object at distance 0 from
 		// every feature; when the features are far apart no object can
 		// collect their full scores simultaneously. Skip the object
 		// search when even the geometric bound cannot beat τ. (Exact: the
-		// bound dominates Σ s_i·2^(−dist(p,t_i)/r) for every p.)
-		if acc.full() && comboInfluenceBound(comb, q.Radius) <= acc.threshold() {
+		// bound dominates Σ s_i·2^(−dist(p,t_i)/r) for every p.) Strict:
+		// an object tying τ can still win the id tie-break.
+		if acc.full() && comboInfluenceBound(comb, q.Radius) < acc.threshold() {
 			continue
 		}
 		sp = tr.StartPhase("objects.retrieve")
-		err = e.topKInfluence(comb, q, acc.threshold(), func(id int64, loc geo.Point, score float64) {
+		err = e.topKInfluence(comb, q, acc, func(id int64, loc geo.Point, score float64) {
 			if acc.offer(id, loc, score) {
 				stats.ObjectsScored++
 			}
@@ -192,6 +192,8 @@ func newInfluenceTopK(k int) *influenceTopK {
 func (a *influenceTopK) full() bool { return len(a.top) >= a.k }
 
 // threshold returns the k-th best score, or −∞ before k objects are known.
+// As with topkAccumulator, ties at the threshold can still enter via the
+// id tie-break, so callers prune only strictly below it.
 func (a *influenceTopK) threshold() float64 {
 	if !a.full() {
 		return negInf
@@ -217,8 +219,9 @@ func (a *influenceTopK) offer(id int64, loc geo.Point, score float64) (isNew boo
 		}
 	}
 	r := Result{ID: id, Location: loc, Score: score}
-	// Insert in sorted position if it belongs in the top k.
-	pos := sort.Search(len(a.top), func(i int) bool { return a.top[i].Score < score })
+	// Insert in total-order position (score desc, id asc) if it belongs in
+	// the top k.
+	pos := sort.Search(len(a.top), func(i int) bool { return betterResult(r, a.top[i]) })
 	if pos < a.k {
 		a.top = append(a.top, Result{})
 		copy(a.top[pos+1:], a.top[pos:])
@@ -271,9 +274,12 @@ func comboInfluenceBound(comb combination, r float64) float64 {
 // topKInfluence runs a best-first top-k search on the object R-tree where
 // an object's priority is its influence score under this combination,
 // Σ_i s(t_i)·2^(−dist(p,t_i)/r), and a node's priority (using MINDIST)
-// upper-bounds every object below. Objects with score ≤ tau cannot change
-// the current top-k and stop the search.
-func (e *Engine) topKInfluence(comb combination, q *Query, tau float64, emit func(int64, geo.Point, float64)) error {
+// upper-bounds every object below. The search stops when the max remaining
+// bound falls strictly below the accumulator's (re-read, hence tightening)
+// threshold, or strictly below the k-th score emitted by this search —
+// either way at least k objects with strictly better scores are already
+// known, so nothing below can enter the top-k even via the id tie-break.
+func (e *Engine) topKInfluence(comb combination, q *Query, acc *influenceTopK, emit func(int64, geo.Point, float64)) error {
 	type anchor struct {
 		pt geo.Point
 		s  float64
@@ -303,15 +309,23 @@ func (e *Engine) topKInfluence(comb combination, q *Query, tau float64, emit fun
 	}
 	pq := &boundHeap{}
 	heap.Push(pq, boundItem{entry: root, bound: prio(root)})
-	remaining := q.K
-	for pq.Len() > 0 && remaining > 0 {
+	emitted := 0
+	kth := negInf // k-th best score emitted by this search (pops are non-increasing)
+	for pq.Len() > 0 {
 		it := heap.Pop(pq).(boundItem)
-		if it.bound <= tau {
-			return nil // nothing below can improve the top-k
+		limit := acc.threshold()
+		if emitted >= q.K && kth > limit {
+			limit = kth
+		}
+		if it.bound < limit {
+			return nil // nothing below can enter the top-k, even by tie-break
 		}
 		if it.entry.Leaf {
 			emit(it.entry.ItemID, it.entry.Point(), it.bound)
-			remaining--
+			emitted++
+			if emitted == q.K {
+				kth = it.bound
+			}
 			continue
 		}
 		n, err := e.objects.Tree().Node(it.entry.Child)
@@ -336,13 +350,13 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 		return nil, err
 	}
 	seen := make(map[int64]bool)
-	results := make([]Result, 0, q.K)
+	acc := newTopkAccumulator(q.K)
 	// Per-query cell view: always writes a private map (single-goroutine),
 	// falling back to — and populating — the shared cross-query cache when
 	// Options.CacheVoronoiCells is on.
 	cells := &queryCells{shared: e.cells, local: make(map[cellKey]geo.Polygon)}
 	radii := make(map[cellKey]float64)
-	for len(results) < q.K {
+	for {
 		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
 		sp.End()
@@ -350,6 +364,9 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 			return nil, err
 		}
 		if !ok {
+			break
+		}
+		if acc.full() && comb.score < acc.threshold() {
 			break
 		}
 		if comboCellsDisjoint(comb, radii) {
@@ -364,7 +381,6 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 		if region.IsEmpty() {
 			continue
 		}
-		limit := q.K - len(results)
 		sp = tr.StartPhase("objects.retrieve")
 		err = e.objects.Tree().SearchPolygon(region, func(entry rtree.Entry) bool {
 			if seen[entry.ItemID] {
@@ -372,16 +388,15 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 			}
 			seen[entry.ItemID] = true
 			stats.ObjectsScored++
-			results = append(results, Result{ID: entry.ItemID, Location: entry.Point(), Score: comb.score})
-			limit--
-			return limit > 0
+			acc.offer(Result{ID: entry.ItemID, Location: entry.Point(), Score: comb.score})
+			return true
 		})
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
 	}
-	return results, nil
+	return acc.results(), nil
 }
 
 // cellKey identifies a cached Voronoi cell.
@@ -487,10 +502,13 @@ func (e *Engine) comboRegion(comb combination, cache *queryCells, radii map[cell
 
 // voronoiCell computes the exact Voronoi cell of a feature within its
 // feature set by streaming neighbors in increasing distance until the
-// 2·maxdist stopping rule fires.
+// 2·maxdist stopping rule fires. The distance ascent merges all parts of
+// the feature group, so a cell computed on a sharded engine is the cell
+// within the full (global) feature set — Voronoi cells ignore shard
+// borders by construction.
 func (e *Engine) voronoiCell(set int, site rtree.Entry) (geo.Polygon, error) {
 	b := voronoi.NewCellBuilder(site.Point(), geo.UnitSquare())
-	err := e.features[set].Tree().AscendDistance(site.Point(), func(en rtree.Entry, d float64) bool {
+	err := groupAscendDistance(e.features[set], site.Point(), func(_ int, en rtree.Entry, d float64) bool {
 		if en.ItemID == site.ItemID {
 			return true
 		}

@@ -1,0 +1,54 @@
+package datagen
+
+import "testing"
+
+// Regionalized features must draw keywords only from their cell's
+// vocabulary slice, keep locations/scores, and produce a usable query CDF.
+func TestRegionalize(t *testing.T) {
+	base := Synthetic(SyntheticConfig{
+		Objects: 500, FeaturesPerSet: 800, FeatureSets: 2, Vocab: 64, Clusters: 50, Seed: 9,
+	})
+	const grid = 4
+	reg := base.Regionalize(grid, 10)
+	if len(reg.Objects) != len(base.Objects) || len(reg.FeatureSets) != len(base.FeatureSets) {
+		t.Fatal("regionalized dataset changed shape")
+	}
+	cells := grid * grid
+	for s, feats := range reg.FeatureSets {
+		if len(feats) != len(base.FeatureSets[s]) {
+			t.Fatalf("set %d: %d features, want %d", s, len(feats), len(base.FeatureSets[s]))
+		}
+		for i, f := range feats {
+			b := base.FeatureSets[s][i]
+			if f.Location != b.Location || f.Score != b.Score || f.ID != b.ID {
+				t.Fatalf("set %d feature %d: location/score/id changed", s, i)
+			}
+			ix := int(f.Location.X * grid)
+			if ix >= grid {
+				ix = grid - 1
+			}
+			iy := int(f.Location.Y * grid)
+			if iy >= grid {
+				iy = grid - 1
+			}
+			c := iy*grid + ix
+			lo, hi := c*reg.VocabWidth/cells, (c+1)*reg.VocabWidth/cells
+			for _, id := range f.Keywords.IDs() {
+				if id < lo || id >= hi {
+					t.Fatalf("set %d feature %d: keyword %d outside cell slice [%d,%d)", s, i, id, lo, hi)
+				}
+			}
+		}
+	}
+	qs := reg.GenQueries(20, QueryConfig{NumKeywords: 2, Seed: 11})
+	if len(qs) != 20 {
+		t.Fatalf("GenQueries returned %d queries", len(qs))
+	}
+	for _, q := range qs {
+		for s, kw := range q.Keywords {
+			if kw.Count() != 2 {
+				t.Fatalf("set %d: query has %d keywords", s, kw.Count())
+			}
+		}
+	}
+}

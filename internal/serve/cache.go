@@ -15,6 +15,7 @@ import (
 
 	"stpq"
 	"stpq/internal/kwset"
+	"stpq/internal/obs"
 )
 
 // Fingerprint returns the canonical cache key of a query: two queries
@@ -81,13 +82,24 @@ type resultCache struct {
 	cap     int
 	lru     *list.List // front = most recently used
 	entries map[string]*list.Element
+	// evictions counts entries dropped for capacity or staleness; nil
+	// disables counting.
+	evictions *obs.Counter
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, evictions *obs.Counter) *resultCache {
 	return &resultCache{
-		cap:     capacity,
-		lru:     list.New(),
-		entries: make(map[string]*list.Element, capacity),
+		cap:       capacity,
+		lru:       list.New(),
+		entries:   make(map[string]*list.Element, capacity),
+		evictions: evictions,
+	}
+}
+
+// evicted records one dropped entry.
+func (c *resultCache) evicted() {
+	if c.evictions != nil {
+		c.evictions.Inc()
 	}
 }
 
@@ -104,6 +116,7 @@ func (c *resultCache) get(key string, gen uint64) (Response, bool) {
 	if e.gen != gen {
 		c.lru.Remove(el)
 		delete(c.entries, key)
+		c.evicted()
 		return Response{}, false
 	}
 	c.lru.MoveToFront(el)
@@ -125,6 +138,7 @@ func (c *resultCache) put(key string, gen uint64, resp Response) {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evicted()
 	}
 }
 

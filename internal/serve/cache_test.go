@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stpq"
+	"stpq/internal/obs"
 )
 
 func TestFingerprintCanonicalization(t *testing.T) {
@@ -52,7 +53,8 @@ func TestFingerprintSetNameEscaping(t *testing.T) {
 }
 
 func TestResultCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	evictions := obs.NewRegistry().Counter("stpq_serve_cache_evictions_total")
+	c := newResultCache(2, evictions)
 	r := func(id int64) Response {
 		return Response{Results: []stpq.Result{{ID: id}}, Generation: 1}
 	}
@@ -74,10 +76,14 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
 	}
+	if got := evictions.Value(); got != 1 {
+		t.Errorf("evictions counter = %d, want 1 (capacity eviction of b)", got)
+	}
 }
 
 func TestResultCacheGenerationMismatch(t *testing.T) {
-	c := newResultCache(4)
+	evictions := obs.NewRegistry().Counter("stpq_serve_cache_evictions_total")
+	c := newResultCache(4, evictions)
 	c.put("a", 1, Response{Generation: 1})
 	if _, ok := c.get("a", 2); ok {
 		t.Error("stale generation must miss")
@@ -85,10 +91,23 @@ func TestResultCacheGenerationMismatch(t *testing.T) {
 	if c.len() != 0 {
 		t.Error("stale entry must be evicted on lookup")
 	}
+	if got := evictions.Value(); got != 1 {
+		t.Errorf("evictions counter = %d, want 1 (staleness eviction)", got)
+	}
+}
+
+// A nil evictions counter must disable counting without panicking.
+func TestResultCacheNilEvictionsCounter(t *testing.T) {
+	c := newResultCache(1, nil)
+	c.put("a", 1, Response{Generation: 1})
+	c.put("b", 1, Response{Generation: 1}) // capacity eviction
+	if _, ok := c.get("a", 2); ok {        // staleness eviction path
+		t.Error("unexpected hit")
+	}
 }
 
 func TestCachedCopyIsIndependent(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, nil)
 	c.put("a", 1, Response{Results: []stpq.Result{{ID: 7}}})
 	got, ok := c.get("a", 1)
 	if !ok || !got.Cached {

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stpq"
+)
+
+// TestFingerprintTable is a t.Run table over the canonicalization rules:
+// permuted and duplicated keywords must collapse to the same fingerprint,
+// while each scalar parameter must keep distinct queries apart.
+func TestFingerprintTable(t *testing.T) {
+	base := stpq.Query{
+		K: 10, Radius: 0.02, Lambda: 0.5,
+		Keywords: map[string][]string{"food": {"pizza", "sushi"}, "cafes": {"latte"}},
+	}
+	cases := []struct {
+		name string
+		q    stpq.Query
+		same bool
+	}{
+		{"identical", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"food": {"pizza", "sushi"}, "cafes": {"latte"}}}, true},
+		{"permuted keywords", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"cafes": {"latte"}, "food": {"sushi", "pizza"}}}, true},
+		{"duplicate keywords", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"food": {"pizza", "sushi", "pizza", "sushi"}, "cafes": {"latte", "latte"}}}, true},
+		{"case and whitespace", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"food": {" PIZZA ", "Sushi"}, "cafes": {"LATTE"}}}, true},
+		{"empty set dropped", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"food": {"pizza", "sushi"}, "cafes": {"latte"}, "bars": {}}}, true},
+		{"different k", stpq.Query{K: 11, Radius: 0.02, Lambda: 0.5, Keywords: base.Keywords}, false},
+		{"different radius", stpq.Query{K: 10, Radius: 0.021, Lambda: 0.5, Keywords: base.Keywords}, false},
+		{"different lambda", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.51, Keywords: base.Keywords}, false},
+		{"different variant", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5, Variant: stpq.NearestNeighbor, Keywords: base.Keywords}, false},
+		{"different algorithm", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5, Algorithm: stpq.STDS, Keywords: base.Keywords}, false},
+		{"different similarity", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5, Similarity: stpq.CosineSim, Keywords: base.Keywords}, false},
+		{"extra keyword", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"food": {"pizza", "sushi", "pho"}, "cafes": {"latte"}}}, false},
+		{"keyword moved across sets", stpq.Query{K: 10, Radius: 0.02, Lambda: 0.5,
+			Keywords: map[string][]string{"food": {"pizza"}, "cafes": {"latte", "sushi"}}}, false},
+	}
+	fp := Fingerprint(base)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Fingerprint(tc.q)
+			if tc.same && got != fp {
+				t.Errorf("fingerprint %q differs from base %q", got, fp)
+			}
+			if !tc.same && got == fp {
+				t.Errorf("fingerprint %q collides with base", got)
+			}
+		})
+	}
+}
+
+// FuzzFingerprint drives the canonicalization with derived inputs: any
+// permutation + duplication of a query's keywords must fingerprint
+// identically, and perturbing k, r or λ must never collide with the
+// original.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(1), 5, 0.01, 0.5, "pizza,sushi", "latte")
+	f.Add(int64(2), 1, 0.2, 0.0, "a", "")
+	f.Add(int64(3), 100, 1e-9, 1.0, "x,y,z,x", "y,Y, y ")
+	f.Fuzz(func(t *testing.T, seed int64, k int, radius, lambda float64, kwsA, kwsB string) {
+		if k <= 0 || radius <= 0 || lambda < 0 || lambda > 1 ||
+			radius != radius || lambda != lambda { // reject NaN
+			t.Skip()
+		}
+		q := stpq.Query{
+			K: k, Radius: radius, Lambda: lambda,
+			Keywords: map[string][]string{"a": splitKw(kwsA), "b": splitKw(kwsB)},
+		}
+		fp := Fingerprint(q)
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := stpq.Query{K: k, Radius: radius, Lambda: lambda,
+			Keywords: map[string][]string{}}
+		for name, kws := range q.Keywords {
+			dup := append([]string(nil), kws...)
+			if len(dup) > 0 { // duplicate a random keyword, then shuffle
+				dup = append(dup, dup[rng.Intn(len(dup))])
+			}
+			rng.Shuffle(len(dup), func(i, j int) { dup[i], dup[j] = dup[j], dup[i] })
+			shuffled.Keywords[name] = dup
+		}
+		if got := Fingerprint(shuffled); got != fp {
+			t.Fatalf("permuted/duplicated keywords changed fingerprint: %q vs %q", got, fp)
+		}
+		perturbed := []stpq.Query{
+			{K: k + 1, Radius: radius, Lambda: lambda, Keywords: q.Keywords},
+			{K: k, Radius: radius * (1 + 1e-9), Lambda: lambda, Keywords: q.Keywords},
+			{K: k, Radius: radius, Lambda: nextLambda(lambda), Keywords: q.Keywords},
+		}
+		for i, p := range perturbed {
+			if p.Radius == radius && i == 1 {
+				continue // perturbation vanished (denormal edge); nothing to check
+			}
+			if p.Lambda == lambda && i == 2 {
+				continue
+			}
+			if got := Fingerprint(p); got == fp {
+				t.Fatalf("perturbation %d collides: %+v", i, p)
+			}
+		}
+	})
+}
+
+// splitKw turns a comma-separated fuzz string into a keyword list.
+func splitKw(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// nextLambda nudges λ to a different valid value.
+func nextLambda(l float64) float64 {
+	if l < 0.5 {
+		return l + 0.25
+	}
+	return l - 0.25
+}
+
+// sanity: the fuzz helpers themselves.
+func TestSplitKw(t *testing.T) {
+	got := splitKw("a,b,,c")
+	want := []string{"a", "b", "", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("splitKw = %v, want %v", got, want)
+	}
+	if splitKw("") != nil {
+		t.Fatal("empty input must split to nil")
+	}
+}

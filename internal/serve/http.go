@@ -4,6 +4,8 @@ package serve
 //
 //	POST /query    JSON query in, JSON results + per-query stats out
 //	GET  /healthz  liveness (503 once Close has begun)
+//	GET  /readyz   alias of /healthz (cmd/stpqd answers both with 503
+//	               itself while the index is still building)
 //	GET  /metrics  Prometheus text format: DB registry, then serve registry
 //	GET  /info     dataset shape, for load generators (cmd/stpqload)
 //
@@ -109,6 +111,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/info", s.handleInfo)
 	return mux

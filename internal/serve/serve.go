@@ -140,7 +140,7 @@ func newUnstarted(db *stpq.DB, cfg Config) (*Service, error) {
 		latency:  reg.Histogram("stpq_serve_latency_seconds", obs.LatencyBuckets),
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newResultCache(cfg.CacheEntries)
+		s.cache = newResultCache(cfg.CacheEntries, reg.Counter("stpq_serve_cache_evictions_total"))
 	}
 	return s, nil
 }

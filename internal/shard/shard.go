@@ -1,0 +1,378 @@
+// Package shard implements the sharded query engine: a spatial partitioner
+// slices the data objects into S cells, each cell becomes a self-contained
+// sub-engine (its own object R-tree), and queries run scatter-gather — fan
+// out to the shards whose region can still contribute, execute the
+// per-shard top-k concurrently on session views, and merge under the
+// result total order.
+//
+// The feature sets are sliced by the same partition function into per-cell
+// index parts, but — crucially — every sub-engine sees the SAME feature
+// groups spanning all parts (index.FeatureGroup). Per-shard scores are
+// therefore exactly the global scores for all three variants: the range
+// and influence traversals seed one bound heap with every part root, and
+// the NN variant's distance ascent merges all parts, which is precisely
+// the cross-border rule — a shard-local NN candidate is final only once
+// its distance beats the mindist of every unvisited subtree of every
+// neighboring part. Combined with the engine-wide total order on results
+// (score descending, id ascending), the merged top-k is byte-identical to
+// the single-engine answer.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stpq/internal/core"
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/obs"
+)
+
+// Options configures the sharded engine build.
+type Options struct {
+	// Shards is the partition count S (at least 2; use the plain engine
+	// for S = 1).
+	Shards int
+	// Strategy selects the spatial partitioner (default HilbertRuns).
+	Strategy Strategy
+	// Parallelism bounds the number of shards queried concurrently per
+	// query (default GOMAXPROCS). The gather loop runs wave-synchronous:
+	// early termination is evaluated between waves, so smaller values
+	// prune more aggressively at the cost of less overlap.
+	Parallelism int
+	// Index configures the per-cell object and feature indexes (vocabulary
+	// width, page size, kind, ...), exactly as for an unsharded build.
+	Index index.Options
+	// Core configures the per-shard query engines. Core.Metrics is ignored
+	// — sub-engines never observe queries; the sharded engine observes the
+	// merged query once against Metrics below.
+	Core core.Options
+	// Metrics, when non-nil, receives the merged per-query metrics plus
+	// the scatter counters stpq_shard_fanout_total / stpq_shard_pruned_total.
+	Metrics *obs.Registry
+}
+
+// subShard is one self-contained sub-engine.
+type subShard struct {
+	id   int
+	cell int
+	eng  *core.Engine
+	// rect is the MBR of the shard's data objects — the region the
+	// per-shard upper bound is evaluated against.
+	rect  geo.Rect
+	count int
+}
+
+// Engine is the sharded query engine. It mirrors the public query surface
+// of core.Engine (STDS, STPS, ExactScore, ...) and is safe for concurrent
+// queries for the same reason: all per-query state lives in sessions.
+type Engine struct {
+	shards []*subShard
+	groups []*index.FeatureGroup
+	total  int
+	opts   Options
+	trace  *atomic.Bool
+	// fanout and pruned count shards queried / skipped across all queries.
+	fanout *obs.Counter
+	pruned *obs.Counter
+}
+
+// New partitions the objects and features and builds the sub-engines.
+// Cells that receive no objects produce no sub-engine (their features
+// still become parts of the shared groups, so scores are unaffected).
+func New(objects []index.Object, featureSets [][]index.Feature, opts Options) (*Engine, error) {
+	if opts.Shards < 2 {
+		return nil, fmt.Errorf("shard: shard count %d must be at least 2", opts.Shards)
+	}
+	if len(objects) == 0 {
+		return nil, errors.New("shard: at least one data object required")
+	}
+	if len(featureSets) == 0 {
+		return nil, errors.New("shard: at least one feature set required")
+	}
+	part, err := buildPartitioning(objects, opts.Shards, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	objCells := make([][]index.Object, part.cells)
+	for _, o := range objects {
+		c := part.assign(o.Location)
+		objCells[c] = append(objCells[c], o)
+	}
+
+	groups := make([]*index.FeatureGroup, len(featureSets))
+	for i, fs := range featureSets {
+		featCells := make([][]index.Feature, part.cells)
+		for _, f := range fs {
+			c := part.assign(f.Location)
+			featCells[c] = append(featCells[c], f)
+		}
+		var parts []*index.FeatureIndex
+		for c := 0; c < part.cells; c++ {
+			if len(featCells[c]) == 0 {
+				continue
+			}
+			p, err := index.BuildFeatureIndex(featCells[c], opts.Index)
+			if err != nil {
+				return nil, fmt.Errorf("shard: feature set %d cell %d: %w", i, c, err)
+			}
+			parts = append(parts, p)
+		}
+		if len(parts) == 0 {
+			// Empty feature set: one empty part, matching the unsharded
+			// engine's single empty index.
+			p, err := index.BuildFeatureIndex(nil, opts.Index)
+			if err != nil {
+				return nil, fmt.Errorf("shard: feature set %d: %w", i, err)
+			}
+			parts = append(parts, p)
+		}
+		g, err := index.NewFeatureGroup(parts...)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = g
+	}
+
+	coreOpts := opts.Core
+	coreOpts.Metrics = nil // the sharded engine observes the merged query
+	e := &Engine{groups: groups, total: len(objects), opts: opts, trace: &atomic.Bool{}}
+	e.trace.Store(coreOpts.Trace)
+	if opts.Metrics != nil {
+		e.fanout = opts.Metrics.Counter("stpq_shard_fanout_total")
+		e.pruned = opts.Metrics.Counter("stpq_shard_pruned_total")
+	}
+	for c := 0; c < part.cells; c++ {
+		if len(objCells[c]) == 0 {
+			continue
+		}
+		oidx, err := index.BuildObjectIndex(objCells[c], opts.Index)
+		if err != nil {
+			return nil, fmt.Errorf("shard: cell %d objects: %w", c, err)
+		}
+		sub, err := core.NewEngineWithGroups(oidx, groups, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		rect := geo.EmptyRect()
+		for _, o := range objCells[c] {
+			rect = rect.Extend(o.Location)
+		}
+		id := len(e.shards)
+		if opts.Metrics != nil {
+			oidx.AttachMetrics(opts.Metrics, fmt.Sprintf("objects_shard%02d", id))
+		}
+		e.shards = append(e.shards, &subShard{id: id, cell: c, eng: sub, rect: rect, count: len(objCells[c])})
+	}
+	return e, nil
+}
+
+// NumShards returns the number of built sub-engines (cells that received
+// at least one object).
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// NumObjects returns the total number of indexed data objects.
+func (e *Engine) NumObjects() int { return e.total }
+
+// FeatureGroups returns the shared feature groups (one per feature set,
+// one part per non-empty cell).
+func (e *Engine) FeatureGroups() []*index.FeatureGroup { return e.groups }
+
+// Options returns the build options.
+func (e *Engine) Options() Options { return e.opts }
+
+// SetTrace toggles per-query tracing on the sharded engine and every
+// sub-engine.
+func (e *Engine) SetTrace(on bool) {
+	e.trace.Store(on)
+	for _, s := range e.shards {
+		s.eng.SetTrace(on)
+	}
+}
+
+// ExactScore delegates to any sub-engine: the score oracle only reads the
+// feature groups, which are global.
+func (e *Engine) ExactScore(q core.Query, p geo.Point) (float64, error) {
+	return e.shards[0].eng.ExactScore(q, p)
+}
+
+// PrecomputeVoronoiCells precomputes NN Voronoi cells on every sub-engine
+// (requires core.Options.CacheVoronoiCells; each sub-engine holds its own
+// cache, so the one-off cost scales with the shard count).
+func (e *Engine) PrecomputeVoronoiCells() error {
+	for _, s := range e.shards {
+		if err := s.eng.PrecomputeVoronoiCells(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// STDS answers the query with the data-scan algorithm on every contributing
+// shard and merges.
+func (e *Engine) STDS(q core.Query) ([]core.Result, core.Stats, error) {
+	return e.run("stds", q)
+}
+
+// STPS answers the query with the preference-search algorithm on every
+// contributing shard and merges.
+func (e *Engine) STPS(q core.Query) ([]core.Result, core.Stats, error) {
+	return e.run("stps", q)
+}
+
+// parallelism resolves the effective per-query fan-out width.
+func (e *Engine) parallelism() int {
+	if e.opts.Parallelism > 0 {
+		return e.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardOut is one shard's contribution to a query.
+type shardOut struct {
+	sub *subShard
+	res []core.Result
+	st  core.Stats
+	err error
+}
+
+// run is the scatter-gather loop. Shards are ordered by their per-variant
+// upper bound (descending, ties by shard id) and queried in waves of
+// Parallelism; between waves the gather terminates as soon as the k-th
+// merged score strictly exceeds the next (hence every) remaining shard's
+// bound — a tie cannot be pruned because a skipped shard might hold an
+// equal-scoring object with a smaller id. Unqueried shards count as
+// pruned. The wave barrier makes the queried set — and so the fanout and
+// pruned counters — deterministic for a given parallelism.
+func (e *Engine) run(alg string, q core.Query) ([]core.Result, core.Stats, error) {
+	if err := q.Validate(len(e.groups)); err != nil {
+		return nil, core.Stats{}, err
+	}
+	start := time.Now()
+	type cand struct {
+		sub   *subShard
+		bound float64
+	}
+	cands := make([]cand, len(e.shards))
+	for i, s := range e.shards {
+		b, err := s.eng.UpperBound(q, s.rect)
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		cands[i] = cand{sub: s, bound: b}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].bound != cands[j].bound {
+			return cands[i].bound > cands[j].bound
+		}
+		return cands[i].sub.id < cands[j].sub.id
+	})
+
+	par := e.parallelism()
+	var (
+		merged  []core.Result
+		total   core.Stats
+		gotten  []shardOut
+		queried int
+	)
+	for next := 0; next < len(cands); {
+		if len(merged) >= q.K && merged[q.K-1].Score > cands[next].bound {
+			break // every remaining shard is strictly out-scored
+		}
+		end := next + par
+		if end > len(cands) {
+			end = len(cands)
+		}
+		wave := make([]shardOut, end-next)
+		var wg sync.WaitGroup
+		for i := range wave {
+			sub := cands[next+i].sub
+			wave[i].sub = sub
+			wg.Add(1)
+			go func(out *shardOut) {
+				defer wg.Done()
+				if alg == "stds" {
+					out.res, out.st, out.err = out.sub.eng.STDS(q)
+				} else {
+					out.res, out.st, out.err = out.sub.eng.STPS(q)
+				}
+			}(&wave[i])
+		}
+		wg.Wait()
+		for i := range wave {
+			if wave[i].err != nil {
+				return nil, core.Stats{}, fmt.Errorf("shard %d: %w", wave[i].sub.id, wave[i].err)
+			}
+			total.Add(wave[i].st)
+			merged = mergeTopK(merged, wave[i].res, q.K)
+		}
+		gotten = append(gotten, wave...)
+		queried += len(wave)
+		next = end
+	}
+	pruned := len(cands) - queried
+
+	// CPUTime is the wall clock of the whole scatter-gather (the summed
+	// per-shard CPU is visible in the trace); all other counters are sums.
+	total.CPUTime = time.Since(start)
+	total.Trace = e.assembleTrace(alg, &q, &total, gotten, queried, pruned)
+	if e.fanout != nil {
+		e.fanout.Add(int64(queried))
+		e.pruned.Add(int64(pruned))
+	}
+	core.ObserveQuery(e.opts.Metrics, alg, &q, &total)
+	return merged, total, nil
+}
+
+// mergeTopK folds one shard's sorted result list into the merged top-k
+// under the result total order.
+func mergeTopK(acc, more []core.Result, k int) []core.Result {
+	acc = append(acc, more...)
+	sort.Slice(acc, func(i, j int) bool { return core.ResultBefore(acc[i], acc[j]) })
+	if len(acc) > k {
+		acc = acc[:k]
+	}
+	return acc
+}
+
+// assembleTrace builds the merged span tree: one root covering the whole
+// scatter-gather with a `shard.NN` child per queried shard (wrapping the
+// shard's own span tree when sub-engine tracing produced one). Per-shard
+// traces are created inside each shard's own query call, so no span is
+// ever touched by two goroutines.
+func (e *Engine) assembleTrace(alg string, q *core.Query, total *core.Stats, gotten []shardOut, queried, pruned int) *obs.Span {
+	if !e.trace.Load() {
+		return nil
+	}
+	root := &obs.Span{
+		Name:          alg + "." + q.Variant.String() + ".scatter",
+		Count:         1,
+		Duration:      total.CPUTime,
+		LogicalReads:  total.LogicalReads,
+		PhysicalReads: total.PhysicalReads,
+		Counters: map[string]int64{
+			"shards_fanout": int64(queried),
+			"shards_pruned": int64(pruned),
+		},
+	}
+	for _, o := range gotten {
+		wrap := &obs.Span{
+			Name:          fmt.Sprintf("shard.%02d", o.sub.id),
+			Count:         1,
+			Duration:      o.st.CPUTime,
+			LogicalReads:  o.st.LogicalReads,
+			PhysicalReads: o.st.PhysicalReads,
+		}
+		if o.st.Trace != nil {
+			wrap.Children = []*obs.Span{o.st.Trace}
+		}
+		root.Children = append(root.Children, wrap)
+	}
+	return root
+}

@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"stpq/internal/core"
+	"stpq/internal/datagen"
+	"stpq/internal/index"
+	"stpq/internal/obs"
+)
+
+// testData generates a small clustered world shared by the tests.
+func testData(seed int64) *datagen.Dataset {
+	return datagen.Synthetic(datagen.SyntheticConfig{
+		Objects:        500,
+		FeaturesPerSet: 400,
+		FeatureSets:    2,
+		Vocab:          48,
+		Clusters:       40,
+		Seed:           seed,
+	})
+}
+
+func buildUnsharded(t *testing.T, ds *datagen.Dataset, kind index.Kind) *core.Engine {
+	t.Helper()
+	iopts := index.Options{Kind: kind, VocabWidth: ds.VocabWidth, PageSize: 1024}
+	oidx, err := index.BuildObjectIndex(ds.Objects, iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidxs := make([]*index.FeatureIndex, len(ds.FeatureSets))
+	for i, fs := range ds.FeatureSets {
+		fidxs[i], err = index.BuildFeatureIndex(fs, iopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := core.NewEngine(oidx, fidxs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func buildSharded(t *testing.T, ds *datagen.Dataset, kind index.Kind, opts Options) *Engine {
+	t.Helper()
+	opts.Index = index.Options{Kind: kind, VocabWidth: ds.VocabWidth, PageSize: 1024}
+	eng, err := New(ds.Objects, ds.FeatureSets, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testQueries(ds *datagen.Dataset, variant core.Variant, seed int64) []core.Query {
+	return ds.GenQueries(4, datagen.QueryConfig{
+		K: 10, Radius: 0.05, Lambda: 0.5, NumKeywords: 2, Variant: variant, Seed: seed,
+	})
+}
+
+// TestPartitioningAssignsInRange checks both strategies map every object
+// and feature into a valid cell and that the Hilbert split is balanced.
+func TestPartitioningAssignsInRange(t *testing.T) {
+	ds := testData(42)
+	for _, strategy := range []Strategy{HilbertRuns, FixedGrid} {
+		for _, shards := range []int{2, 3, 4, 8} {
+			part, err := buildPartitioning(ds.Objects, shards, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if part.cells != shards {
+				t.Fatalf("%v/%d: cells %d", strategy, shards, part.cells)
+			}
+			counts := make([]int, shards)
+			for _, o := range ds.Objects {
+				c := part.assign(o.Location)
+				if c < 0 || c >= shards {
+					t.Fatalf("%v/%d: cell %d out of range", strategy, shards, c)
+				}
+				counts[c]++
+			}
+			for _, fs := range ds.FeatureSets {
+				for _, f := range fs {
+					if c := part.assign(f.Location); c < 0 || c >= shards {
+						t.Fatalf("%v/%d: feature cell %d out of range", strategy, shards, c)
+					}
+				}
+			}
+			if strategy == HilbertRuns {
+				want := len(ds.Objects) / shards
+				for c, n := range counts {
+					if n < want/2 || n > want*2 {
+						t.Errorf("hilbert/%d: cell %d holds %d objects, want ≈%d", shards, c, n, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := testData(43)
+	iopts := index.Options{VocabWidth: ds.VocabWidth, PageSize: 1024}
+	if _, err := New(ds.Objects, ds.FeatureSets, Options{Shards: 1, Index: iopts}); err == nil {
+		t.Fatal("Shards=1 must be rejected")
+	}
+	if _, err := New(nil, ds.FeatureSets, Options{Shards: 2, Index: iopts}); err == nil {
+		t.Fatal("empty objects must be rejected")
+	}
+	if _, err := New(ds.Objects, nil, Options{Shards: 2, Index: iopts}); err == nil {
+		t.Fatal("empty feature sets must be rejected")
+	}
+	if _, err := New(ds.Objects, ds.FeatureSets, Options{Shards: 2, Strategy: Strategy(99), Index: iopts}); err == nil {
+		t.Fatal("unknown strategy must be rejected")
+	}
+}
+
+// TestShardedMatchesUnsharded is the core equivalence guarantee: for both
+// index kinds, all three variants, both algorithms and several shard
+// counts, the sharded engine returns byte-identical results — same scores
+// AND same tie-break order — as the single engine.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	ds := testData(44)
+	for _, kind := range []index.Kind{index.IR2, index.SRT} {
+		single := buildUnsharded(t, ds, kind)
+		for _, shards := range []int{2, 4, 8} {
+			strategy := HilbertRuns
+			if shards == 4 {
+				strategy = FixedGrid
+			}
+			sharded := buildSharded(t, ds, kind, Options{Shards: shards, Strategy: strategy, Parallelism: 2})
+			for _, variant := range []core.Variant{core.RangeScore, core.InfluenceScore, core.NearestNeighborScore} {
+				for qi, q := range testQueries(ds, variant, 100+int64(shards)) {
+					want, _, err := single.STDS(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, alg := range []string{"stds", "stps"} {
+						var got []core.Result
+						if alg == "stds" {
+							got, _, err = sharded.STDS(q)
+						} else {
+							got, _, err = sharded.STPS(q)
+						}
+						if err != nil {
+							t.Fatalf("%v/%d/%s/%v q%d: %v", kind, shards, alg, variant, qi, err)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("%v/%d/%s/%v q%d: %d results, want %d",
+								kind, shards, alg, variant, qi, len(got), len(want))
+						}
+						for i := range want {
+							if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+								t.Fatalf("%v/%d/%s/%v q%d rank %d: got (%d, %v) want (%d, %v)",
+									kind, shards, alg, variant, qi, i,
+									got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpperBoundIsSound: no result produced by a shard may exceed the
+// bound the gather phase ordered it by.
+func TestUpperBoundIsSound(t *testing.T) {
+	ds := testData(45)
+	sharded := buildSharded(t, ds, index.IR2, Options{Shards: 4})
+	for _, variant := range []core.Variant{core.RangeScore, core.InfluenceScore, core.NearestNeighborScore} {
+		for _, q := range testQueries(ds, variant, 200) {
+			for _, sub := range sharded.shards {
+				bound, err := sub.eng.UpperBound(q, sub.rect)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, _, err := sub.eng.STDS(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range res {
+					if r.Score > bound+1e-9 {
+						t.Fatalf("%v shard %d: score %v exceeds bound %v", variant, sub.id, r.Score, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardMetricsAndTrace checks the scatter counters and the merged span
+// tree.
+func TestShardMetricsAndTrace(t *testing.T) {
+	ds := testData(46)
+	reg := obs.NewRegistry()
+	sharded := buildSharded(t, ds, index.IR2, Options{Shards: 4, Metrics: reg})
+	sharded.SetTrace(true)
+	q := testQueries(ds, core.RangeScore, 300)[0]
+	_, st, err := sharded.STDS(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := reg.Counter("stpq_shard_fanout_total").Value()
+	pruned := reg.Counter("stpq_shard_pruned_total").Value()
+	if fan+pruned != int64(sharded.NumShards()) {
+		t.Fatalf("fanout %d + pruned %d != shards %d", fan, pruned, sharded.NumShards())
+	}
+	if fan < 1 {
+		t.Fatal("at least one shard must be queried")
+	}
+	if st.Trace == nil {
+		t.Fatal("trace missing with tracing on")
+	}
+	if st.Trace.Counters["shards_fanout"] != fan {
+		t.Fatalf("trace fanout %d, counter %d", st.Trace.Counters["shards_fanout"], fan)
+	}
+	if len(st.Trace.Children) != int(fan) {
+		t.Fatalf("trace has %d shard spans, fanout %d", len(st.Trace.Children), fan)
+	}
+	for _, child := range st.Trace.Children {
+		if len(child.Children) != 1 {
+			t.Fatalf("shard span %s missing per-shard trace", child.Name)
+		}
+	}
+	sharded.SetTrace(false)
+	_, st, err = sharded.STDS(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace != nil {
+		t.Fatal("trace present with tracing off")
+	}
+	if st.CPUTime <= 0 {
+		t.Fatal("missing wall-clock CPU time")
+	}
+}
+
+// TestExactScoreMatchesEngine: the sharded score oracle must agree with a
+// full single-engine oracle at arbitrary locations.
+func TestExactScoreMatchesEngine(t *testing.T) {
+	ds := testData(47)
+	single := buildUnsharded(t, ds, index.IR2)
+	sharded := buildSharded(t, ds, index.IR2, Options{Shards: 3})
+	for _, variant := range []core.Variant{core.RangeScore, core.InfluenceScore, core.NearestNeighborScore} {
+		q := testQueries(ds, variant, 400)[0]
+		for _, o := range ds.Objects[:25] {
+			a, err := single.ExactScore(q, o.Location)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sharded.ExactScore(q, o.Location)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%v at %v: single %v sharded %v", variant, o.Location, a, b)
+			}
+		}
+	}
+}

@@ -39,6 +39,10 @@ func (db *DB) Save(dir string) error {
 	if db.cfg.SignatureBits > 0 {
 		return index.ErrSignaturePersist
 	}
+	eng, ok := db.engine.(*core.Engine)
+	if !ok {
+		return errors.New("stpq: sharded DBs cannot be saved; rebuild with ShardCount 0 first")
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("stpq: save: %w", err)
 	}
@@ -49,12 +53,13 @@ func (db *DB) Save(dir string) error {
 		SetNames: db.setNames,
 	}
 	var err error
-	man.Objects, err = saveIndex(filepath.Join(dir, "objects.pages"), db.engine.Objects().Save)
+	man.Objects, err = saveIndex(filepath.Join(dir, "objects.pages"), eng.Objects().Save)
 	if err != nil {
 		return err
 	}
-	for i, f := range db.engine.Features() {
-		meta, err := saveIndex(filepath.Join(dir, fmt.Sprintf("features_%d.pages", i)), f.Save)
+	for i, g := range eng.FeatureGroups() {
+		// Unsharded engines always hold single-part groups.
+		meta, err := saveIndex(filepath.Join(dir, fmt.Sprintf("features_%d.pages", i)), g.Part(0).Save)
 		if err != nil {
 			return err
 		}
@@ -104,6 +109,9 @@ func Open(dir string) (*DB, error) {
 	if len(man.Features) != len(man.SetNames) {
 		return nil, fmt.Errorf("stpq: manifest has %d feature metas for %d set names",
 			len(man.Features), len(man.SetNames))
+	}
+	if man.Config.ShardCount > 1 {
+		return nil, fmt.Errorf("stpq: manifest requests %d shards, but saved DBs are single-engine", man.Config.ShardCount)
 	}
 	db := New(man.Config)
 	for _, w := range man.Vocab {

@@ -24,7 +24,7 @@ import (
 // for concurrent use: any number of goroutines may call TopK on the same
 // Snapshot, and a Snapshot keeps working after the DB is rebuilt.
 type Snapshot struct {
-	engine *core.Engine
+	engine queryEngine
 	vocab  *kwset.Vocabulary
 	names  []string
 	gen    uint64
@@ -55,13 +55,13 @@ func (s *Snapshot) FeatureSetNames() []string {
 }
 
 // NumObjects returns the number of indexed data objects.
-func (s *Snapshot) NumObjects() int { return s.engine.Objects().Len() }
+func (s *Snapshot) NumObjects() int { return s.engine.NumObjects() }
 
 // NumFeatures returns the number of features per set, keyed by set name.
 func (s *Snapshot) NumFeatures() map[string]int {
 	out := make(map[string]int, len(s.names))
 	for i, name := range s.names {
-		out[name] = s.engine.Features()[i].Len()
+		out[name] = s.engine.FeatureGroups()[i].Len()
 	}
 	return out
 }

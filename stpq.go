@@ -41,6 +41,7 @@ import (
 	"stpq/internal/invindex"
 	"stpq/internal/kwset"
 	"stpq/internal/obs"
+	"stpq/internal/shard"
 	"stpq/internal/storage"
 )
 
@@ -101,6 +102,18 @@ const (
 	OverlapSim
 )
 
+// ShardStrategy selects the spatial partitioner of a sharded DB
+// (Config.ShardCount > 1).
+type ShardStrategy int
+
+const (
+	// ShardHilbert cuts the Hilbert curve over the data objects into
+	// equal-count runs (default; balanced under skew).
+	ShardHilbert ShardStrategy = iota
+	// ShardGrid overlays a fixed uniform grid on the object MBR.
+	ShardGrid
+)
+
 // Algorithm selects the query processing strategy.
 type Algorithm int
 
@@ -151,6 +164,17 @@ type Config struct {
 	// disabled path costs one nil check per instrumentation point. Can be
 	// toggled later with DB.SetTracing.
 	Tracing bool
+	// ShardCount > 1 partitions the data spatially into that many
+	// self-contained sub-engines and answers queries by parallel
+	// scatter-gather with per-shard bound pruning. Results are identical
+	// to the single-engine build. 0 or 1 keeps the single engine.
+	// Sharded DBs cannot be saved with Save yet.
+	ShardCount int
+	// ShardStrategy selects the partitioner when ShardCount > 1.
+	ShardStrategy ShardStrategy
+	// ShardParallelism bounds how many shards one query fans out to
+	// concurrently (default GOMAXPROCS).
+	ShardParallelism int
 }
 
 // Query is a top-k spatio-textual preference query.
@@ -203,6 +227,20 @@ type Stats struct {
 // Total returns CPU plus modeled I/O time.
 func (s Stats) Total() time.Duration { return s.CPUTime + s.IOTime }
 
+// queryEngine is the query surface shared by the single engine
+// (core.Engine) and the sharded engine (shard.Engine). Everything above
+// this interface — snapshots, serving, metrics, tracing — works
+// identically for both.
+type queryEngine interface {
+	STDS(core.Query) ([]core.Result, core.Stats, error)
+	STPS(core.Query) ([]core.Result, core.Stats, error)
+	ExactScore(core.Query, geo.Point) (float64, error)
+	FeatureGroups() []*index.FeatureGroup
+	NumObjects() int
+	SetTrace(bool)
+	PrecomputeVoronoiCells() error
+}
+
 // DB is a queryable collection of data objects and named feature sets.
 // Populate it with AddObjects/AddFeatureSet, call Build, then query with
 // TopK. After Build, a DB is safe for concurrent use and queries run in
@@ -217,7 +255,7 @@ type DB struct {
 	objects  []Object
 	setNames []string
 	sets     map[string][]Feature
-	engine   *core.Engine
+	engine   queryEngine
 	metrics  *obs.Registry
 	inverted map[string]*invindex.Index
 	built    bool
@@ -310,11 +348,7 @@ func (db *DB) buildLocked() error {
 	for i, o := range db.objects {
 		objs[i] = index.Object{ID: o.ID, Location: geo.Point{X: o.X, Y: o.Y}}
 	}
-	oidx, err := index.BuildObjectIndex(objs, opts)
-	if err != nil {
-		return fmt.Errorf("stpq: building object index: %w", err)
-	}
-	fidxs := make([]*index.FeatureIndex, len(db.setNames))
+	featSets := make([][]index.Feature, len(db.setNames))
 	for i, name := range db.setNames {
 		raw := db.sets[name]
 		feats := make([]index.Feature, len(raw))
@@ -329,18 +363,44 @@ func (db *DB) buildLocked() error {
 				Keywords: db.vocab.SetOf(f.Keywords...),
 			}
 		}
-		fidxs[i], err = index.BuildFeatureIndex(feats, opts)
+		featSets[i] = feats
+	}
+	if db.cfg.ShardCount > 1 {
+		eng, err := shard.New(objs, featSets, shard.Options{
+			Shards:      db.cfg.ShardCount,
+			Strategy:    shard.Strategy(db.cfg.ShardStrategy),
+			Parallelism: db.cfg.ShardParallelism,
+			Index:       opts,
+			Core:        db.cfg.coreOptions(nil),
+			Metrics:     db.metrics,
+		})
 		if err != nil {
-			return fmt.Errorf("stpq: building feature index %q: %w", name, err)
+			return fmt.Errorf("stpq: building sharded engine: %w", err)
 		}
+		db.engine = eng
+	} else {
+		oidx, err := index.BuildObjectIndex(objs, opts)
+		if err != nil {
+			return fmt.Errorf("stpq: building object index: %w", err)
+		}
+		fidxs := make([]*index.FeatureIndex, len(db.setNames))
+		for i, name := range db.setNames {
+			fidxs[i], err = index.BuildFeatureIndex(featSets[i], opts)
+			if err != nil {
+				return fmt.Errorf("stpq: building feature index %q: %w", name, err)
+			}
+		}
+		oidx.AttachMetrics(db.metrics, "objects")
+		eng, err := core.NewEngine(oidx, fidxs, db.cfg.coreOptions(db.metrics))
+		if err != nil {
+			return err
+		}
+		db.engine = eng
 	}
-	oidx.AttachMetrics(db.metrics, "objects")
+	// Feature pool metrics attach to the groups, which both engine kinds
+	// expose (sharded groups add a _partNN suffix per cell).
 	for i, name := range db.setNames {
-		fidxs[i].AttachMetrics(db.metrics, poolLabel(name))
-	}
-	db.engine, err = core.NewEngine(oidx, fidxs, db.cfg.coreOptions(db.metrics))
-	if err != nil {
-		return err
+		db.engine.FeatureGroups()[i].AttachMetrics(db.metrics, poolLabel(name))
 	}
 	db.built = true
 	db.gen++
@@ -435,7 +495,7 @@ func (db *DB) KeywordStats(featureSet string) ([]KeywordStat, error) {
 	if !ok {
 		// Build from the index itself so opened DBs (which do not retain
 		// the raw feature slices) are covered too.
-		entries, err := db.engine.Features()[pos].AllExact()
+		entries, err := db.engine.FeatureGroups()[pos].AllExact()
 		if err != nil {
 			return nil, err
 		}
