@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench-smoke serve-smoke check
+.PHONY: build test race vet lint bench-smoke bench-compare alloc-regression serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,31 @@ lint:
 # benchmark harness without the cost of a full sweep.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkFig7/a_features=10000' -benchtime 1x .
+
+# Before/after benchmark comparison for perf work. Run once on the base
+# commit (`make bench-compare BENCH_OUT=old.txt`), once on the change
+# (`... BENCH_OUT=new.txt`), then benchstat compares them — install with
+# `go install golang.org/x/perf/cmd/benchstat@latest`. Without benchstat
+# the raw `go test -bench` output is still written for manual diffing.
+BENCH_OUT ?= bench-new.txt
+BENCH_BASE ?= bench-old.txt
+bench-compare:
+	$(GO) test -run NONE -bench 'BenchmarkFig7' -benchtime 10x -benchmem -count 5 . | tee $(BENCH_OUT)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		if [ -f $(BENCH_BASE) ]; then \
+			benchstat $(BENCH_BASE) $(BENCH_OUT); \
+		else \
+			echo "bench-compare: no $(BENCH_BASE) baseline; rerun on the base commit with BENCH_OUT=$(BENCH_BASE)"; \
+		fi; \
+	else \
+		echo "bench-compare: benchstat not installed, wrote raw output to $(BENCH_OUT)"; \
+	fi
+
+# The zero-alloc / allocation-budget regression tests: kwset.Jaccard and
+# the buffer-pool hit path must stay allocation-free, steady-state top-k
+# queries must stay under their documented budgets (internal/core).
+alloc-regression:
+	$(GO) test -run 'TestAllocs' -v ./internal/kwset/ ./internal/storage/ ./internal/core/
 
 # End-to-end daemon smoke test: start stpqd on a small synthetic dataset,
 # wait for /healthz, fire a short stpqload run, then shut down gracefully.

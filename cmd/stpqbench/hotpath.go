@@ -1,0 +1,134 @@
+package main
+
+// hotpath.go benchmarks the hot-path engineering of the query engine:
+// parallel STPS range workloads over the same dataset served once by the
+// classic single-lock LRU buffer pool (stripes=1, the paper's cost-model
+// configuration) and once by the lock-striped pool. The sweep crosses
+// worker count × striping and records throughput, latency quantiles and
+// allocation cost per query, so the effect of lock striping and of the
+// query-scratch pooling shows up in one table.
+//
+// Like the shard sweep, this experiment always writes its records to
+// BENCH_hotpath.json: the qps/allocs columns are the point, and the text
+// table has no room for the distributions.
+//
+// Correctness is asserted inline before timing: both engines must return
+// identical result lists for a sample of the workload (striping changes
+// eviction order, never answers).
+
+import (
+	"fmt"
+	"log"
+
+	"stpq/internal/core"
+	"stpq/internal/datagen"
+	"stpq/internal/index"
+)
+
+// hotpathBenchFile is where the hotpath sweep always saves its records.
+const hotpathBenchFile = "BENCH_hotpath.json"
+
+// hotpathStripes is the striped configuration measured against the
+// single-lock baseline.
+const hotpathStripes = 8
+
+func (b *bench) hotpath() {
+	header(fmt.Sprintf("hotpath: parallel STPS throughput vs pool striping (range, SRT, stripes=%d)", hotpathStripes))
+	// Regionalized keywords make the workload spatially coherent — the
+	// shape under which concurrent queries actually share buffer-pool
+	// pages and contend on the pool locks.
+	ds := b.synthetic(b.scaled(defObjects), b.scaled(defFeatures), defSets, defVocab).
+		Regionalize(4, b.seed)
+	qc := b.defaultQC(core.RangeScore)
+	qc.NumKeywords = 2
+	qs := ds.GenQueries(b.queries, qc)
+
+	single := b.hotpathEngine(ds, 1)
+	striped := b.hotpathEngine(ds, hotpathStripes)
+	b.verifySameAnswers(single, striped, qs)
+
+	var recs []Record
+	for _, cfg := range []struct {
+		name    string
+		stripes int
+		e       *core.Engine
+	}{
+		{"single-lock", 1, single},
+		{"striped", hotpathStripes, striped},
+	} {
+		for _, w := range []int{1, 2, 4, 8} {
+			label := fmt.Sprintf("  %s stripes=%d workers=%d", cfg.name, cfg.stripes, w)
+			st, qps, rec := b.runParallel(label, "SRT", "stps", cfg.e, qs, w)
+			rec.Experiment = "hotpath"
+			rec.Counters = map[string]int64{
+				"pool_stripes": int64(cfg.stripes),
+				"workers":      int64(w),
+			}
+			recs = append(recs, rec)
+			line(label,
+				fmt.Sprintf("%7.1f q/s", qps),
+				cell(st),
+				fmt.Sprintf("%9.0f allocs/op %11.0f B/op", rec.AllocsPerOp, rec.BytesPerOp))
+		}
+	}
+	if err := writeRecords(hotpathBenchFile, recs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d hotpath records to %s", len(recs), hotpathBenchFile)
+	if b.jsonPath != "" {
+		b.records = append(b.records, recs...)
+	}
+}
+
+// hotpathEngine builds a fresh SRT engine over ds whose buffer pools use
+// the given stripe count. Tracing stays off so the allocation counters
+// measure the query path, not the span trees.
+func (b *bench) hotpathEngine(ds *datagen.Dataset, stripes int) *core.Engine {
+	opts := index.Options{
+		Kind: index.SRT, VocabWidth: ds.VocabWidth,
+		BufferPages: b.buffer, PoolStripes: stripes,
+	}
+	oidx, err := index.BuildObjectIndex(ds.Objects, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fidxs := make([]*index.FeatureIndex, len(ds.FeatureSets))
+	for i, fs := range ds.FeatureSets {
+		fidxs[i], err = index.BuildFeatureIndex(fs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(oidx, fidxs, core.Options{BatchSTDS: true, CostModel: b.cost})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+// verifySameAnswers runs a sample of the workload serially on both
+// engines and aborts on any result divergence.
+func (b *bench) verifySameAnswers(a, c *core.Engine, qs []core.Query) {
+	n := len(qs)
+	if n > 20 {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		ra, _, err := a.STPS(qs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc, _, err := c.STPS(qs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ra) != len(rc) {
+			log.Fatalf("hotpath: query %d: single-lock returned %d results, striped %d", i, len(ra), len(rc))
+		}
+		for j := range ra {
+			if ra[j] != rc[j] {
+				log.Fatalf("hotpath: query %d rank %d: single-lock %+v != striped %+v", i, j, ra[j], rc[j])
+			}
+		}
+	}
+}

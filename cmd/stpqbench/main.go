@@ -68,7 +68,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stpqbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | serve | shard")
+		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | serve | shard | hotpath")
 		queries = flag.Int("queries", 100, "queries per data point (the paper used 1000)")
 		t3q     = flag.Int("table3queries", 3, "queries per STDS data point (STDS is slow by design)")
 		scale   = flag.Float64("scale", 1.0, "dataset cardinality multiplier")
@@ -108,8 +108,9 @@ func main() {
 		"fig14":   b.fig14,
 		"serve":   b.serve,
 		"shard":   b.shardExp,
+		"hotpath": b.hotpath,
 	}
-	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "serve", "shard"}
+	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "serve", "shard", "hotpath"}
 
 	start := time.Now()
 	runExp := func(name string) {
@@ -223,6 +224,7 @@ func dsKeyOf(ds *datagen.Dataset) string {
 func (b *bench) run(label, idx, alg string, e *core.Engine, qs []core.Query) core.Stats {
 	var acc core.Stats
 	per := make([]core.Stats, 0, len(qs))
+	mc := startMemCount()
 	for _, q := range qs {
 		var (
 			st  core.Stats
@@ -240,7 +242,9 @@ func (b *bench) run(label, idx, alg string, e *core.Engine, qs []core.Query) cor
 		per = append(per, st)
 	}
 	if b.jsonPath != "" {
-		b.records = append(b.records, newRecord(b.curExp, strings.TrimSpace(label), idx, alg, qs, per))
+		rec := newRecord(b.curExp, strings.TrimSpace(label), idx, alg, qs, per)
+		rec.AllocsPerOp, rec.BytesPerOp = mc.perOp(len(qs))
+		b.records = append(b.records, rec)
 	}
 	return acc.Scale(len(qs))
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"stpq/internal/core"
@@ -54,18 +55,26 @@ type PhaseBreakdown struct {
 // prints as a single row, plus the distribution and phase detail the text
 // format has no room for.
 type Record struct {
-	Experiment    string           `json:"experiment"`
-	Label         string           `json:"label"`
-	Index         string           `json:"index"`
-	Algorithm     string           `json:"algorithm"`
-	Variant       string           `json:"variant"`
-	Queries       int              `json:"queries"`
-	TotalMS       Quantiles        `json:"total_ms"`
-	CPUMS         Quantiles        `json:"cpu_ms"`
-	IOMS          Quantiles        `json:"io_ms"`
-	PhysicalReads Quantiles        `json:"physical_reads"`
-	LogicalReads  Quantiles        `json:"logical_reads"`
-	Phases        []PhaseBreakdown `json:"phases,omitempty"`
+	Experiment    string    `json:"experiment"`
+	Label         string    `json:"label"`
+	Index         string    `json:"index"`
+	Algorithm     string    `json:"algorithm"`
+	Variant       string    `json:"variant"`
+	Queries       int       `json:"queries"`
+	TotalMS       Quantiles `json:"total_ms"`
+	CPUMS         Quantiles `json:"cpu_ms"`
+	IOMS          Quantiles `json:"io_ms"`
+	PhysicalReads Quantiles `json:"physical_reads"`
+	LogicalReads  Quantiles `json:"logical_reads"`
+	// QPS is the aggregate throughput of concurrent workloads (0 for the
+	// serial experiments, whose wall time is the per-query mean).
+	QPS float64 `json:"qps,omitempty"`
+	// AllocsPerOp / BytesPerOp are runtime.MemStats deltas over the
+	// workload divided by the query count, the benchstat-style allocation
+	// cost of one query including all harness-visible garbage.
+	AllocsPerOp float64          `json:"allocs_per_op"`
+	BytesPerOp  float64          `json:"bytes_per_op"`
+	Phases      []PhaseBreakdown `json:"phases,omitempty"`
 	// Counters carries experiment-specific totals over the whole workload
 	// (e.g. the shard sweep's scatter fanout/pruned counts).
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -137,6 +146,28 @@ func newRecord(exp, label, idx, alg string, qs []core.Query, per []core.Stats) R
 		}
 	}
 	return rec
+}
+
+// memCounter snapshots the runtime allocation totals so a workload can
+// report allocations per query. The delta over the whole process includes
+// harness overhead (stats slices, channel sends), which is negligible
+// against the per-query index work.
+type memCounter struct{ mallocs, bytes uint64 }
+
+func startMemCount() memCounter {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return memCounter{mallocs: m.Mallocs, bytes: m.TotalAlloc}
+}
+
+// perOp returns the allocation deltas since the snapshot divided by n.
+func (c memCounter) perOp(n int) (allocs, bytes float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.Mallocs-c.mallocs) / float64(n), float64(m.TotalAlloc-c.bytes) / float64(n)
 }
 
 // writeRecords writes the collected records as a JSON array.

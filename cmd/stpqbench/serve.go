@@ -40,22 +40,27 @@ func (b *bench) serve() {
 		qs := ds.GenQueries(b.queries, b.defaultQC(core.RangeScore))
 		for _, w := range sweep {
 			label := fmt.Sprintf("%v workers=%d", kind, w)
-			st, qps := b.runParallel(label, kind.String(), "stps", e, qs, w)
+			st, qps, rec := b.runParallel(label, kind.String(), "stps", e, qs, w)
+			if b.jsonPath != "" {
+				b.records = append(b.records, rec)
+			}
 			line(label, fmt.Sprintf("%7.1f q/s", qps), cell(st))
 		}
 	}
 }
 
 // runParallel executes the workload with w concurrent workers and returns
-// the mean per-query stats plus aggregate throughput. With -json it
-// appends a Record labeled with the worker count.
-func (b *bench) runParallel(label, idx, alg string, e *core.Engine, qs []core.Query, w int) (core.Stats, float64) {
+// the mean per-query stats, the aggregate throughput, and the Record
+// summarizing the run (throughput and allocation counters included);
+// callers decide where the record goes.
+func (b *bench) runParallel(label, idx, alg string, e *core.Engine, qs []core.Query, w int) (core.Stats, float64, Record) {
 	var (
 		mu   sync.Mutex
 		per  = make([]core.Stats, 0, len(qs))
 		next = make(chan core.Query)
 		wg   sync.WaitGroup
 	)
+	mc := startMemCount()
 	start := time.Now()
 	for i := 0; i < w; i++ {
 		wg.Add(1)
@@ -86,12 +91,13 @@ func (b *bench) runParallel(label, idx, alg string, e *core.Engine, qs []core.Qu
 	close(next)
 	wg.Wait()
 	elapsed := time.Since(start)
-	if b.jsonPath != "" {
-		b.records = append(b.records, newRecord(b.curExp, strings.TrimSpace(label), idx, alg, qs, per))
-	}
+	qps := float64(len(per)) / elapsed.Seconds()
+	rec := newRecord(b.curExp, strings.TrimSpace(label), idx, alg, qs, per)
+	rec.QPS = qps
+	rec.AllocsPerOp, rec.BytesPerOp = mc.perOp(len(per))
 	var acc core.Stats
 	for _, st := range per {
 		acc.Add(st)
 	}
-	return acc.Scale(len(per)), float64(len(per)) / elapsed.Seconds()
+	return acc.Scale(len(per)), qps, rec
 }

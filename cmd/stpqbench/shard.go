@@ -63,6 +63,7 @@ func (b *bench) shardExp() {
 				acc core.Stats
 				per = make([]core.Stats, 0, len(qs))
 			)
+			mc := startMemCount()
 			for _, q := range qs {
 				_, st, err := e.STPS(q)
 				if err != nil {
@@ -73,6 +74,7 @@ func (b *bench) shardExp() {
 			}
 			label := fmt.Sprintf("  %s, S=%d", wl.name, shards)
 			rec := newRecord("shard", label, "SRT", "stps", qs, per)
+			rec.AllocsPerOp, rec.BytesPerOp = mc.perOp(len(qs))
 			cols := []string{cell(acc.Scale(len(qs)))}
 			if shards > 1 {
 				fanout := reg.Counter("stpq_shard_fanout_total").Value()

@@ -31,7 +31,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -pprof listener
 	"os/signal"
+	"runtime"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -60,12 +62,15 @@ func main() {
 		queue     = flag.Int("queue", 64, "admission queue depth")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		cacheSize = flag.Int("cache", 256, "result cache entries (negative disables)")
+		stripes   = flag.Int("pool-stripes", 0, "buffer-pool lock stripes, rounded down to a power of two (0 or 1 = classic single-lock LRU)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); enables low-rate mutex and block profiling")
 	)
 	flag.Parse()
 	cfg := daemonConfig{
 		addr: *addr, open: *open, synthetic: *synthetic,
 		objects: *objects, features: *features, sets: *sets, vocab: *vocab,
 		seed: *seed, indexKind: *indexKind, shards: *shards, strategy: *strategy,
+		stripes: *stripes, pprofAddr: *pprofAddr,
 		serve: serve.Config{
 			Workers:      *workers,
 			QueueDepth:   *queue,
@@ -87,10 +92,15 @@ type daemonConfig struct {
 	seed                int64
 	indexKind, strategy string
 	shards              int
+	stripes             int
+	pprofAddr           string
 	serve               serve.Config
 }
 
 func run(cfg daemonConfig) error {
+	if cfg.pprofAddr != "" {
+		startPprof(cfg.pprofAddr)
+	}
 	// The listener comes up before the index: a swappable handler answers
 	// 503 (ErrNotBuilt) until the build completes, then the real service
 	// handler takes over.
@@ -142,6 +152,7 @@ func run(cfg daemonConfig) error {
 	log.Printf("shutting down: draining queries")
 	select {
 	case svc := <-svcc:
+		log.Printf("result cache hit fraction: %.1f%%", 100*svc.CacheHitFraction())
 		svc.Close() // stop admission, drain queue and in-flight queries
 	default: // interrupted before the build finished
 	}
@@ -155,6 +166,24 @@ func run(cfg daemonConfig) error {
 	}
 	log.Printf("bye")
 	return nil
+}
+
+// startPprof serves the net/http/pprof endpoints on their own listener,
+// kept off the query port so profiling never competes with admission
+// control. Mutex and block profiling run at a low sampling rate: cheap
+// enough to leave on, detailed enough to show buffer-pool lock
+// contention under load.
+func startPprof(addr string) {
+	runtime.SetMutexProfileFraction(64) // sample 1/64 of contention events
+	runtime.SetBlockProfileRate(int(time.Millisecond))
+	go func() {
+		// DefaultServeMux carries the /debug/pprof handlers registered by
+		// the net/http/pprof import.
+		log.Printf("pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof listener failed: %v", err)
+		}
+	}()
 }
 
 // buildingHandler answers every request with 503 until the index build
@@ -176,6 +205,9 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 	case cfg.open != "":
 		if cfg.shards > 1 {
 			return nil, errors.New("-shards applies to -synthetic only (saved DBs are single-engine)")
+		}
+		if cfg.stripes > 1 {
+			log.Printf("warning: -pool-stripes applies to -synthetic only; opened DBs use the single-lock pool")
 		}
 		log.Printf("opening %s", cfg.open)
 		return stpq.Open(cfg.open)
@@ -199,7 +231,10 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 		}
 		log.Printf("building synthetic dataset: %d objects, %d×%d features, vocab %d, shards %d",
 			cfg.objects, cfg.sets, cfg.features, cfg.vocab, cfg.shards)
-		db := stpq.New(stpq.Config{IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat})
+		db := stpq.New(stpq.Config{
+			IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat,
+			PoolStripes: cfg.stripes,
+		})
 		ds := datagen.Synthetic(datagen.SyntheticConfig{
 			Objects: cfg.objects, FeaturesPerSet: cfg.features, FeatureSets: cfg.sets,
 			Vocab: cfg.vocab, Seed: cfg.seed,

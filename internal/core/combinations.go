@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"stpq/internal/geo"
@@ -58,6 +57,11 @@ type combinationStream struct {
 	visited map[string]bool
 	pending [][]vecEntry // lazy successors waiting for d[i] to grow
 	seeded  bool
+
+	// refsBuf backs the refs slice of emitted combinations; each next()
+	// call overwrites it, so callers must consume a combination before
+	// requesting the next one (all STPS drivers do).
+	refsBuf []featureRef
 }
 
 // vecEntry is an index vector into the d arrays with its combination score.
@@ -67,7 +71,10 @@ type vecEntry struct {
 }
 
 // newCombinationStream builds the stream for a query against the engine's
-// feature indexes.
+// feature indexes. On a pooled session the stream and all its growable
+// state (per-set streams and their heaps, retrieved prefixes, the
+// combination heap, the visited map) are recycled from the query scratch,
+// so steady-state STPS queries rebuild the stream without heap growth.
 func newCombinationStream(e *Engine, q *Query, pairFilter bool, stats *Stats, tr *obs.Trace) (*combinationStream, error) {
 	c := len(e.features)
 	eager := pairFilter
@@ -77,38 +84,80 @@ func newCombinationStream(e *Engine, q *Query, pairFilter bool, stats *Stats, tr
 	case CombinationsLazy:
 		eager = false
 	}
-	cs := &combinationStream{
-		q:          q,
-		streams:    make([]*featureStream, c),
-		stats:      stats,
-		tr:         tr,
-		pairFilter: pairFilter,
-		pull:       e.opts.Pull,
-		eager:      eager,
-		d:          make([][]featureRef, c),
-		mins:       make([]float64, c),
-		maxs:       make([]float64, c),
-		started:    make([]bool, c),
-		exhausted:  make([]bool, c),
-		visited:    make(map[string]bool),
-		pending:    make([][]vecEntry, c),
+	cs := &combinationStream{}
+	if sc := e.scratch; sc != nil {
+		cs = &sc.cs
 	}
+	cs.reinit(c)
+	cs.q, cs.stats, cs.tr = q, stats, tr
+	cs.pairFilter, cs.pull, cs.eager = pairFilter, e.opts.Pull, eager
 	if eager && pairFilter {
-		cs.grids = make([]*pairGrid, c)
+		cs.grids = reuseLen(cs.grids, c)
 		for i := range cs.grids {
 			cs.grids[i] = newPairGrid(2 * q.Radius)
 		}
+	} else {
+		cs.grids = nil
 	}
 	for i := 0; i < c; i++ {
-		s, err := newFeatureStream(e.features[i], q.keywordsFor(i))
-		if err != nil {
+		if err := cs.streams[i].init(e.features[i], q.keywordsFor(i)); err != nil {
 			return nil, err
 		}
-		cs.streams[i] = s
 		cs.mins[i] = 1 // upper bound on any unseen feature score
 		cs.maxs[i] = 1
 	}
 	return cs, nil
+}
+
+// reinit resets the stream's per-query state in place, keeping every
+// backing allocation (stream structs with their heaps, inner d/pending
+// slices, the heap array, the visited map) for reuse.
+func (cs *combinationStream) reinit(c int) {
+	cs.streams = reuseLen(cs.streams, c)
+	for i := range cs.streams {
+		if cs.streams[i] == nil {
+			cs.streams[i] = &featureStream{}
+		}
+	}
+	cs.d = reuseNested(cs.d, c)
+	cs.pending = reuseNested(cs.pending, c)
+	cs.mins = reuseLen(cs.mins, c)
+	cs.maxs = reuseLen(cs.maxs, c)
+	cs.started = reuseLen(cs.started, c)
+	cs.exhausted = reuseLen(cs.exhausted, c)
+	for i := 0; i < c; i++ {
+		cs.started[i] = false
+		cs.exhausted[i] = false
+	}
+	cs.heap = cs.heap[:0]
+	if cs.visited == nil {
+		cs.visited = make(map[string]bool)
+	} else {
+		clear(cs.visited)
+	}
+	cs.rr = 0
+	cs.seeded = false
+}
+
+// reuseLen returns buf resized to n, reusing its backing array when large
+// enough; existing elements within the new length are kept as-is.
+func reuseLen[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	nb := make([]T, n)
+	copy(nb, buf)
+	return nb
+}
+
+// reuseNested resizes an outer slice to n, truncating every inner slice to
+// length 0 while keeping its capacity.
+func reuseNested[T any](buf [][]T, n int) [][]T {
+	buf = reuseLen(buf, n)
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
 }
 
 // pairGrid is a spatial hash with cell size equal to the pair-distance
@@ -157,7 +206,7 @@ func (cs *combinationStream) next() (combination, bool, error) {
 		if cs.heap.Len() > 0 {
 			top := cs.heap[0]
 			if cs.allExhausted() || top.score >= cs.threshold()-1e-12 {
-				ve := heap.Pop(&cs.heap).(vecEntry)
+				ve := cs.heap.pop()
 				if !cs.eager {
 					cs.pushSuccessors(ve.vec)
 				}
@@ -298,7 +347,7 @@ func (cs *combinationStream) seedOrFlush(i int) {
 		return
 	}
 	waiting := cs.pending[i]
-	cs.pending[i] = nil
+	cs.pending[i] = cs.pending[i][:0] // keep the backing for reuse
 	for _, ve := range waiting {
 		cs.pushVec(ve.vec)
 	}
@@ -334,7 +383,7 @@ func (cs *combinationStream) pushVec(vec []int) {
 	for i, a := range vec {
 		score += cs.d[i][a].score
 	}
-	heap.Push(&cs.heap, vecEntry{vec: vec, score: score})
+	cs.heap.push(vecEntry{vec: vec, score: score})
 }
 
 // generateEager materializes, as the paper's Algorithm 4 line 9 does, all
@@ -366,7 +415,7 @@ func (cs *combinationStream) generateEager(i int) {
 		if dim == c {
 			v := make([]int, c)
 			copy(v, vec)
-			heap.Push(&cs.heap, vecEntry{vec: v, score: score})
+			cs.heap.push(vecEntry{vec: v, score: score})
 			return
 		}
 		if dim == i {
@@ -429,10 +478,11 @@ func (cs *combinationStream) validAgainstChosen(ref featureRef, vec []int, chose
 // validity filter (lazy mode checks it at emission; eager mode filtered at
 // generation).
 func (cs *combinationStream) materialize(ve vecEntry) (combination, bool) {
-	refs := make([]featureRef, len(ve.vec))
+	refs := cs.refsBuf[:0]
 	for i, a := range ve.vec {
-		refs[i] = cs.d[i][a]
+		refs = append(refs, cs.d[i][a])
 	}
+	cs.refsBuf = refs
 	if cs.pairFilter && !cs.eager {
 		limit := 2 * cs.q.Radius
 		for i := 0; i < len(refs); i++ {
@@ -468,14 +518,4 @@ func vecKey(vec []int) string {
 // comboHeap is a max-heap of index vectors by combination score.
 type comboHeap []vecEntry
 
-func (h comboHeap) Len() int            { return len(h) }
-func (h comboHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
-func (h comboHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *comboHeap) Push(x interface{}) { *h = append(*h, x.(vecEntry)) }
-func (h *comboHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+func (h comboHeap) Len() int { return len(h) }

@@ -26,6 +26,9 @@ func drainCombinations(t *testing.T, w *testWorld, q Query, pairFilter bool, lim
 		if !ok {
 			break
 		}
+		// refs are backed by the stream's reusable buffer and only valid
+		// until the next next() call; snapshot them for later inspection.
+		comb.refs = append([]featureRef(nil), comb.refs...)
 		out = append(out, comb)
 	}
 	return out

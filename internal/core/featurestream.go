@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"stpq/internal/index"
 	"stpq/internal/rtree"
 )
@@ -39,9 +37,22 @@ type featureStream struct {
 // score stream. A query with no keywords for this set makes every feature
 // irrelevant, so the stream yields only ∅.
 func newFeatureStream(g *index.FeatureGroup, q index.QueryKeywords) (*featureStream, error) {
-	s := &featureStream{g: g, pq: g.Prepare(q)}
+	s := &featureStream{}
+	if err := s.init(g, q); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// init (re)initializes the stream in place, keeping the heap's backing
+// array so pooled streams reach steady state without allocating.
+func (s *featureStream) init(g *index.FeatureGroup, q index.QueryKeywords) error {
+	s.g = g
+	s.pq = g.Prepare(q)
+	s.heap = s.heap[:0]
+	s.exhausted = false
 	if g.Len() == 0 || q.Set.IsEmpty() {
-		return s, nil
+		return nil
 	}
 	for pi, part := range g.Parts() {
 		if part.Len() == 0 {
@@ -49,20 +60,20 @@ func newFeatureStream(g *index.FeatureGroup, q index.QueryKeywords) (*featureStr
 		}
 		root, err := part.Tree().RootEntry()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if part.EntryRelevant(root, s.pq) {
-			heap.Push(&s.heap, boundItem{entry: root, part: pi, bound: part.EntryBound(root, s.pq)})
+			s.heap.push(boundItem{entry: root, part: pi, bound: part.EntryBound(root, s.pq)})
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // next returns the feature with the highest remaining score, or the
 // virtual feature once, then reports done=true.
 func (s *featureStream) next() (ref featureRef, done bool, err error) {
 	for s.heap.Len() > 0 {
-		it := heap.Pop(&s.heap).(boundItem)
+		it := s.heap.pop()
 		idx := s.g.Part(it.part)
 		if it.entry.Leaf {
 			if it.resolved {
@@ -78,7 +89,7 @@ func (s *featureStream) next() (ref featureRef, done bool, err error) {
 			if s.heap.Len() == 0 || score >= s.heap[0].bound-1e-12 {
 				return featureRef{entry: it.entry, score: score}, false, nil
 			}
-			heap.Push(&s.heap, boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
+			s.heap.push(boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
 			continue
 		}
 		node, err := idx.Tree().Node(it.entry.Child)
@@ -89,7 +100,7 @@ func (s *featureStream) next() (ref featureRef, done bool, err error) {
 			if !idx.EntryRelevant(c, s.pq) {
 				continue
 			}
-			heap.Push(&s.heap, boundItem{entry: c, part: it.part, bound: idx.EntryBound(c, s.pq)})
+			s.heap.push(boundItem{entry: c, part: it.part, bound: idx.EntryBound(c, s.pq)})
 		}
 	}
 	if !s.exhausted {
@@ -112,14 +123,4 @@ type boundItem struct {
 // boundHeap is a max-heap over bounds.
 type boundHeap []boundItem
 
-func (h boundHeap) Len() int            { return len(h) }
-func (h boundHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
-func (h boundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *boundHeap) Push(x interface{}) { *h = append(*h, x.(boundItem)) }
-func (h *boundHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+func (h boundHeap) Len() int { return len(h) }

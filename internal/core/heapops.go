@@ -1,0 +1,87 @@
+package core
+
+// Typed binary-heap primitives for the hot-path priority queues. The
+// container/heap interface boxes every pushed and popped element into an
+// interface value, which costs one heap allocation per operation for the
+// multi-word items used here (boundItem, distItem, vecEntry, Result); on
+// a deep best-first descent those allocations dominate the profile. The
+// generic siftUp/siftDown below operate on the concrete slices directly,
+// so push/pop are allocation-free.
+//
+// before(a, b) reports whether a has strictly higher priority than b
+// (must be popped first); it must be passed a non-capturing function so
+// the call itself does not allocate.
+
+func heapPush[T any](h *[]T, it T, before func(a, b T) bool) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !before(s[i], s[p]) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func heapPop[T any](h *[]T, before func(a, b T) bool) T {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	var zero T
+	s[n] = zero // release references held by the vacated slot
+	s = s[:n]
+	*h = s
+	heapFixTop(h, before)
+	return top
+}
+
+// heapFixTop restores the heap property after the root element changed
+// in place (the typed analogue of heap.Fix(h, 0)).
+func heapFixTop[T any](h *[]T, before func(a, b T) bool) {
+	s := *h
+	n := len(s)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && before(s[r], s[l]) {
+			m = r
+		}
+		if !before(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}
+
+// boundHeap: max-heap on the score bound ŝ(e).
+func boundBefore(a, b boundItem) bool { return a.bound > b.bound }
+
+func (h *boundHeap) push(it boundItem) { heapPush((*[]boundItem)(h), it, boundBefore) }
+func (h *boundHeap) pop() boundItem    { return heapPop((*[]boundItem)(h), boundBefore) }
+
+// distHeap: min-heap on MINDIST.
+func distBefore(a, b distItem) bool { return a.dist < b.dist }
+
+func (h *distHeap) push(it distItem) { heapPush((*[]distItem)(h), it, distBefore) }
+func (h *distHeap) pop() distItem    { return heapPop((*[]distItem)(h), distBefore) }
+
+// comboHeap: max-heap on combination score.
+func comboBefore(a, b vecEntry) bool { return a.score > b.score }
+
+func (h *comboHeap) push(it vecEntry) { heapPush((*[]vecEntry)(h), it, comboBefore) }
+func (h *comboHeap) pop() vecEntry    { return heapPop((*[]vecEntry)(h), comboBefore) }
+
+// resultMinHeap: the worst kept result sits at the root.
+func resultBefore(a, b Result) bool { return betterResult(b, a) }
+
+func (h *resultMinHeap) push(r Result) { heapPush((*[]Result)(h), r, resultBefore) }
+func (h *resultMinHeap) fixTop()       { heapFixTop((*[]Result)(h), resultBefore) }

@@ -276,6 +276,13 @@ type Engine struct {
 	// reads is the per-query read accumulator of a session engine; nil on
 	// the root engine.
 	reads *storage.Stats
+	// scratches recycles queryScratch state (session views, candidate
+	// heaps, combination buffers) across queries; set on root engines
+	// built through the constructors, nil on sessions.
+	scratches *sync.Pool
+	// scratch is the per-query scratch of a pooled session; nil on the
+	// root engine.
+	scratch *queryScratch
 }
 
 // cellCache is the lock-protected cross-query Voronoi cell cache.
@@ -299,11 +306,18 @@ func (c *cellCache) put(k cellKey, p geo.Polygon) {
 
 // session returns a per-query view of the engine: the same immutable index
 // structure and shared page caches, but with every page read charged to a
-// fresh private accumulator. Idempotent on an engine that already is a
-// session.
+// fresh private accumulator. On engines built through the constructors the
+// view comes from the scratch pool (pair with releaseSession); engines
+// assembled literally fall back to a one-shot view. Idempotent on an
+// engine that already is a session.
 func (e *Engine) session() *Engine {
 	if e.reads != nil {
 		return e
+	}
+	if e.scratches != nil {
+		sc := e.scratches.Get().(*queryScratch)
+		sc.reset()
+		return sc.sess
 	}
 	acct := &storage.Stats{}
 	s := *e
@@ -356,6 +370,7 @@ func NewEngineWithGroups(objects *index.ObjectIndex, features []*index.FeatureGr
 	if e.opts.CacheVoronoiCells {
 		e.cells = &cellCache{m: make(map[cellKey]geo.Polygon)}
 	}
+	e.scratches = &sync.Pool{New: func() interface{} { return newQueryScratch(e) }}
 	return e, nil
 }
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/storage"
+)
+
+// queryScratch is the per-query reusable state of one engine session:
+// the private read accumulator, the prebuilt session view bound to it, and
+// every transient buffer the STDS/STPS kernels need — candidate heaps,
+// top-k backing, combination-stream state, dedup maps. Scratches are
+// recycled through the root engine's sync.Pool so a steady stream of
+// queries reaches steady-state zero heap growth: after warm-up, repeated
+// queries allocate only what genuinely varies per query (results slices,
+// Voronoi polygons).
+//
+// Single-user invariants (all hold because a query runs on one goroutine
+// and the kernels never nest):
+//   - bound is used by exactly one best-first descent at a time
+//     (computeScore, computeInfluenceScore, batchRangeScores and
+//     topKInfluence never overlap within a query);
+//   - dist is used by one groupAscendDistance walk at a time
+//     (computeNNScore and voronoiCell never overlap);
+//   - topk/inf back the single accumulator of the query;
+//   - the combination-stream buffers belong to the single stream a
+//     STPS query drives.
+type queryScratch struct {
+	acct storage.Stats
+	// sess is the session view of the root engine: same immutable index
+	// structure, page reads charged to acct. The view itself never changes
+	// between queries, so it is built once per scratch and reused; only
+	// acct is re-zeroed.
+	sess *Engine
+
+	bound boundHeap
+	dist  distHeap
+	topk  topkAccumulator
+	inf   influenceTopK
+	seen  map[int64]bool
+
+	// Batched STDS: one batchObj per object-tree leaf entry.
+	batch    []batchObj
+	batchPtr []*batchObj
+
+	// Combination stream (one per STPS query): the struct keeps all its
+	// growable state — per-set streams and their heaps, retrieved
+	// prefixes, the combination heap, the visited map — and reinit()
+	// recycles it in place.
+	cs combinationStream
+
+	// NN variant: per-query Voronoi cell view and cell radii.
+	cellsLocal map[cellKey]geo.Polygon
+	radii      map[cellKey]float64
+}
+
+// newQueryScratch builds a scratch (and its session view) for the root
+// engine. Called by the pool on a cache miss; steady state reuses existing
+// scratches.
+func newQueryScratch(root *Engine) *queryScratch {
+	sc := &queryScratch{
+		seen:       make(map[int64]bool),
+		cellsLocal: make(map[cellKey]geo.Polygon),
+		radii:      make(map[cellKey]float64),
+	}
+	s := *root
+	s.reads = &sc.acct
+	s.scratches = nil // sessions never pool themselves
+	s.scratch = sc
+	s.objects = root.objects.Session(&sc.acct)
+	feats := make([]*index.FeatureGroup, len(root.features))
+	for i, f := range root.features {
+		feats[i] = f.Session(&sc.acct)
+	}
+	s.features = feats
+	sc.sess = &s
+	return sc
+}
+
+// reset prepares the scratch for a new query. Buffers are truncated (not
+// freed) at their acquisition points; only the read accumulator must be
+// zeroed before the session is handed out.
+func (sc *queryScratch) reset() { sc.acct = storage.Stats{} }
+
+// scratchBoundHeap returns the reusable best-first candidate heap, empty.
+// Falls back to a fresh heap on engines without scratch state.
+func (e *Engine) scratchBoundHeap() *boundHeap {
+	if sc := e.scratch; sc != nil {
+		sc.bound = sc.bound[:0]
+		return &sc.bound
+	}
+	return &boundHeap{}
+}
+
+// scratchDistHeap returns the reusable distance-ascent heap, empty.
+func (e *Engine) scratchDistHeap() *distHeap {
+	if sc := e.scratch; sc != nil {
+		sc.dist = sc.dist[:0]
+		return &sc.dist
+	}
+	return &distHeap{}
+}
+
+// newTopk returns the query's top-k accumulator, reusing the scratch
+// backing when available.
+func (e *Engine) newTopk(k int) *topkAccumulator {
+	if sc := e.scratch; sc != nil {
+		sc.topk.k = k
+		sc.topk.heap = sc.topk.heap[:0]
+		return &sc.topk
+	}
+	return newTopkAccumulator(k)
+}
+
+// newInfluenceTopK returns the influence variant's accumulator, reusing
+// the scratch map and slice when available.
+func (e *Engine) newInfluenceTopK(k int) *influenceTopK {
+	if sc := e.scratch; sc != nil {
+		sc.inf.k = k
+		if sc.inf.best == nil {
+			sc.inf.best = make(map[int64]float64)
+		} else {
+			clear(sc.inf.best)
+		}
+		sc.inf.top = sc.inf.top[:0]
+		return &sc.inf
+	}
+	return newInfluenceTopK(k)
+}
+
+// scratchSeen returns the reusable object-dedup map, cleared.
+func (e *Engine) scratchSeen() map[int64]bool {
+	if sc := e.scratch; sc != nil {
+		clear(sc.seen)
+		return sc.seen
+	}
+	return make(map[int64]bool)
+}
+
+// scratchBatch returns n zeroed *batchObj slots backed by the scratch
+// arrays (batched STDS processes one leaf at a time, so slots are reused
+// leaf after leaf).
+func (e *Engine) scratchBatch(n int) []*batchObj {
+	sc := e.scratch
+	if sc == nil {
+		objs := make([]*batchObj, n)
+		store := make([]batchObj, n)
+		for i := range objs {
+			objs[i] = &store[i]
+		}
+		return objs
+	}
+	if cap(sc.batch) < n {
+		sc.batch = make([]batchObj, n)
+		sc.batchPtr = make([]*batchObj, 0, n)
+	}
+	store := sc.batch[:n]
+	objs := sc.batchPtr[:0]
+	for i := range store {
+		store[i] = batchObj{}
+		objs = append(objs, &store[i])
+	}
+	sc.batchPtr = objs
+	return objs
+}
+
+// scratchCells returns the NN variant's per-query cell map and radii map,
+// cleared.
+func (e *Engine) scratchCells() (map[cellKey]geo.Polygon, map[cellKey]float64) {
+	if sc := e.scratch; sc != nil {
+		clear(sc.cellsLocal)
+		clear(sc.radii)
+		return sc.cellsLocal, sc.radii
+	}
+	return make(map[cellKey]geo.Polygon), make(map[cellKey]float64)
+}
+
+// releaseSession returns a pooled session acquired through session() to
+// the root engine's scratch pool. It is a no-op when s is the engine
+// itself (session() was idempotent) or when s carries no scratch. After
+// release the session must not be used: results and stats must already be
+// copied out.
+func (e *Engine) releaseSession(s *Engine) {
+	if s == e || s.scratch == nil || e.scratches == nil {
+		return
+	}
+	e.scratches.Put(s.scratch)
+}

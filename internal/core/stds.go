@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 	"time"
 
@@ -23,7 +22,9 @@ func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
 	if err := q.Validate(len(e.features)); err != nil {
 		return nil, Stats{}, err
 	}
+	root := e
 	e = e.session() // private read accounting; safe under concurrency
+	defer root.releaseSession(e)
 	var stats Stats
 	before := e.snapshotReads()
 	tr := e.newTrace("stds." + q.Variant.String())
@@ -89,12 +90,12 @@ func (a *topkAccumulator) threshold() float64 {
 // offer considers one scored object.
 func (a *topkAccumulator) offer(r Result) {
 	if a.heap.Len() < a.k {
-		heap.Push(&a.heap, r)
+		a.heap.push(r)
 		return
 	}
 	if betterResult(r, a.heap[0]) {
 		a.heap[0] = r
-		heap.Fix(&a.heap, 0)
+		a.heap.fixTop()
 	}
 }
 
@@ -110,23 +111,13 @@ func (a *topkAccumulator) results() []Result {
 // root, so the accumulator evicts it first.
 type resultMinHeap []Result
 
-func (h resultMinHeap) Len() int            { return len(h) }
-func (h resultMinHeap) Less(i, j int) bool  { return betterResult(h[j], h[i]) }
-func (h resultMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultMinHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultMinHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+func (h resultMinHeap) Len() int { return len(h) }
 
 // stdsSingle is the literal Algorithm 1: one object at a time, one
 // computeScore (Algorithm 2) call per feature set, with the τ̂ early
 // termination between sets.
 func (e *Engine) stdsSingle(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
-	acc := newTopkAccumulator(q.K)
+	acc := e.newTopk(q.K)
 	c := len(e.features)
 	sp := tr.StartPhase("objects.scan")
 	objs, err := e.objects.Tree().All()
@@ -179,7 +170,7 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 		return 0, nil
 	}
 	prepared := g.Prepare(qk)
-	pq := &boundHeap{}
+	pq := e.scratchBoundHeap()
 	for pi, part := range g.Parts() {
 		if part.Len() == 0 {
 			continue
@@ -189,11 +180,11 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 			return 0, err
 		}
 		if part.EntryRelevant(root, prepared) && root.Rect.MinDist(p) <= q.Radius {
-			heap.Push(pq, boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared)})
+			pq.push(boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared)})
 		}
 	}
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(boundItem)
+		it := pq.pop()
 		idx := g.Part(it.part)
 		if it.entry.Leaf {
 			if it.entry.Point().Dist(p) > q.Radius {
@@ -212,7 +203,7 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 			if pq.Len() == 0 || score >= (*pq)[0].bound-1e-12 {
 				return score, nil
 			}
-			heap.Push(pq, boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
+			pq.push(boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
 			continue
 		}
 		n, err := idx.Tree().Node(it.entry.Child)
@@ -226,7 +217,7 @@ func (e *Engine) computeScore(set int, q *Query, p pointArg) (float64, error) {
 			if child.Rect.MinDist(p) > q.Radius {
 				continue
 			}
-			heap.Push(pq, boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared)})
+			pq.push(boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared)})
 		}
 	}
 	return 0, nil
@@ -252,7 +243,7 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 		}
 		return math.Exp2(-d / q.Radius)
 	}
-	pq := &boundHeap{}
+	pq := e.scratchBoundHeap()
 	for pi, part := range g.Parts() {
 		if part.Len() == 0 {
 			continue
@@ -262,11 +253,11 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 			return 0, err
 		}
 		if part.EntryRelevant(root, prepared) {
-			heap.Push(pq, boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared) * decay(root)})
+			pq.push(boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared) * decay(root)})
 		}
 	}
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(boundItem)
+		it := pq.pop()
 		idx := g.Part(it.part)
 		if it.entry.Leaf {
 			if it.resolved {
@@ -283,7 +274,7 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 			if pq.Len() == 0 || exact >= (*pq)[0].bound-1e-12 {
 				return exact, nil
 			}
-			heap.Push(pq, boundItem{entry: it.entry, part: it.part, bound: exact, resolved: true})
+			pq.push(boundItem{entry: it.entry, part: it.part, bound: exact, resolved: true})
 			continue
 		}
 		n, err := idx.Tree().Node(it.entry.Child)
@@ -294,7 +285,7 @@ func (e *Engine) computeInfluenceScore(set int, q *Query, p pointArg) (float64, 
 			if !idx.EntryRelevant(child, prepared) {
 				continue
 			}
-			heap.Push(pq, boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared) * decay(child)})
+			pq.push(boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared) * decay(child)})
 		}
 	}
 	return 0, nil
@@ -315,7 +306,7 @@ func (e *Engine) computeNNScore(set int, q *Query, p pointArg) (float64, error) 
 		score      float64
 		resolveErr error
 	)
-	err := groupAscendDistance(g, p, func(part int, en rtree.Entry, _ float64) bool {
+	err := e.groupAscendDistance(g, p, func(part int, en rtree.Entry, _ float64) bool {
 		// First popped leaf is the nearest neighbor; its score counts
 		// only if it is truly relevant (signature hits are verified).
 		idx := g.Part(part)
@@ -341,8 +332,8 @@ func (e *Engine) computeNNScore(set int, q *Query, p pointArg) (float64, error) 
 // the NN variant on a sharded engine this is the cross-border rule: a part's
 // candidate leaf is popped — and thus final — only once its distance beats
 // the mindist of every unvisited subtree of every other part.
-func groupAscendDistance(g *index.FeatureGroup, center geo.Point, fn func(part int, en rtree.Entry, d float64) bool) error {
-	h := &distHeap{}
+func (e *Engine) groupAscendDistance(g *index.FeatureGroup, center geo.Point, fn func(part int, en rtree.Entry, d float64) bool) error {
+	h := e.scratchDistHeap()
 	for pi, part := range g.Parts() {
 		if part.Len() == 0 {
 			continue
@@ -351,10 +342,10 @@ func groupAscendDistance(g *index.FeatureGroup, center geo.Point, fn func(part i
 		if err != nil {
 			return err
 		}
-		heap.Push(h, distItem{entry: root, part: pi, dist: root.Rect.MinDist(center)})
+		h.push(distItem{entry: root, part: pi, dist: root.Rect.MinDist(center)})
 	}
 	for h.Len() > 0 {
-		it := heap.Pop(h).(distItem)
+		it := h.pop()
 		if it.entry.Leaf {
 			if !fn(it.part, it.entry, it.dist) {
 				return nil
@@ -366,7 +357,7 @@ func groupAscendDistance(g *index.FeatureGroup, center geo.Point, fn func(part i
 			return err
 		}
 		for _, c := range n.Entries {
-			heap.Push(h, distItem{entry: c, part: it.part, dist: c.Rect.MinDist(center)})
+			h.push(distItem{entry: c, part: it.part, dist: c.Rect.MinDist(center)})
 		}
 	}
 	return nil
@@ -382,17 +373,7 @@ type distItem struct {
 // distHeap is a min-heap by distance.
 type distHeap []distItem
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+func (h distHeap) Len() int { return len(h) }
 
 // pointArg aliases geo.Point to keep the compute-score signatures compact.
 type pointArg = geo.Point

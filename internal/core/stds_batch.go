@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"stpq/internal/geo"
 	"stpq/internal/obs"
 	"stpq/internal/rtree"
@@ -17,13 +15,13 @@ import (
 // batch object within distance r takes its score (the maximum, because
 // features arrive in non-increasing s(t)) and leaves the batch.
 func (e *Engine) stdsBatch(q *Query, stats *Stats, tr *obs.Trace) ([]Result, error) {
-	acc := newTopkAccumulator(q.K)
+	acc := e.newTopk(q.K)
 	c := len(e.features)
 	var walkErr error
 	err := e.objects.Tree().Leaves(func(batch []rtree.Entry) bool {
-		objs := make([]*batchObj, len(batch))
+		objs := e.scratchBatch(len(batch))
 		for i, en := range batch {
-			objs[i] = &batchObj{entry: en}
+			objs[i].entry = en
 			stats.ObjectsScored++
 		}
 		active := objs
@@ -108,7 +106,7 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 			}
 		}
 	}
-	pq := &boundHeap{}
+	pq := e.scratchBoundHeap()
 	for pi, part := range g.Parts() {
 		if part.Len() == 0 {
 			continue
@@ -118,11 +116,11 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 			return err
 		}
 		if part.EntryRelevant(root, prepared) && withinAny(root) {
-			heap.Push(pq, boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared)})
+			pq.push(boundItem{entry: root, part: pi, bound: part.EntryBound(root, prepared)})
 		}
 	}
 	for pq.Len() > 0 && unresolved > 0 {
-		it := heap.Pop(pq).(boundItem)
+		it := pq.pop()
 		idx := g.Part(it.part)
 		if it.entry.Leaf {
 			fp := it.entry.Point()
@@ -143,7 +141,7 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 			if pq.Len() == 0 || score >= (*pq)[0].bound-1e-12 {
 				assign(fp, score)
 			} else {
-				heap.Push(pq, boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
+				pq.push(boundItem{entry: it.entry, part: it.part, bound: score, resolved: true})
 			}
 			continue
 		}
@@ -158,7 +156,7 @@ func (e *Engine) batchRangeScores(set int, q *Query, batch []*batchObj) error {
 			if !withinAny(child) {
 				continue
 			}
-			heap.Push(pq, boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared)})
+			pq.push(boundItem{entry: child, part: it.part, bound: idx.EntryBound(child, prepared)})
 		}
 	}
 	return nil

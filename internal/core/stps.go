@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 	"time"
@@ -20,7 +19,9 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	if err := q.Validate(len(e.features)); err != nil {
 		return nil, Stats{}, err
 	}
+	root := e
 	e = e.session() // private read accounting; safe under concurrency
+	defer root.releaseSession(e)
 	var stats Stats
 	before := e.snapshotReads()
 	tr := e.newTrace("stps." + q.Variant.String())
@@ -65,8 +66,8 @@ func (e *Engine) stpsRange(q *Query, stats *Stats, tr *obs.Trace) ([]Result, err
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[int64]bool)
-	acc := newTopkAccumulator(q.K)
+	seen := e.scratchSeen()
+	acc := e.newTopk(q.K)
 	for {
 		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
@@ -137,7 +138,7 @@ func (e *Engine) stpsInfluence(q *Query, stats *Stats, tr *obs.Trace) ([]Result,
 	if err != nil {
 		return nil, err
 	}
-	acc := newInfluenceTopK(q.K)
+	acc := e.newInfluenceTopK(q.K)
 	for {
 		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
@@ -307,12 +308,12 @@ func (e *Engine) topKInfluence(comb combination, q *Query, acc *influenceTopK, e
 	if err != nil {
 		return err
 	}
-	pq := &boundHeap{}
-	heap.Push(pq, boundItem{entry: root, bound: prio(root)})
+	pq := e.scratchBoundHeap()
+	pq.push(boundItem{entry: root, bound: prio(root)})
 	emitted := 0
 	kth := negInf // k-th best score emitted by this search (pops are non-increasing)
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(boundItem)
+		it := pq.pop()
 		limit := acc.threshold()
 		if emitted >= q.K && kth > limit {
 			limit = kth
@@ -333,7 +334,7 @@ func (e *Engine) topKInfluence(comb combination, q *Query, acc *influenceTopK, e
 			return err
 		}
 		for _, c := range n.Entries {
-			heap.Push(pq, boundItem{entry: c, bound: prio(c)})
+			pq.push(boundItem{entry: c, bound: prio(c)})
 		}
 	}
 	return nil
@@ -349,13 +350,13 @@ func (e *Engine) stpsNearestNeighbor(q *Query, stats *Stats, tr *obs.Trace) ([]R
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[int64]bool)
-	acc := newTopkAccumulator(q.K)
+	seen := e.scratchSeen()
+	acc := e.newTopk(q.K)
 	// Per-query cell view: always writes a private map (single-goroutine),
 	// falling back to — and populating — the shared cross-query cache when
 	// Options.CacheVoronoiCells is on.
-	cells := &queryCells{shared: e.cells, local: make(map[cellKey]geo.Polygon)}
-	radii := make(map[cellKey]float64)
+	local, radii := e.scratchCells()
+	cells := &queryCells{shared: e.cells, local: local}
 	for {
 		sp := tr.StartPhase("combos.generate")
 		comb, ok, err := cs.next()
@@ -508,7 +509,7 @@ func (e *Engine) comboRegion(comb combination, cache *queryCells, radii map[cell
 // borders by construction.
 func (e *Engine) voronoiCell(set int, site rtree.Entry) (geo.Polygon, error) {
 	b := voronoi.NewCellBuilder(site.Point(), geo.UnitSquare())
-	err := groupAscendDistance(e.features[set], site.Point(), func(_ int, en rtree.Entry, d float64) bool {
+	err := e.groupAscendDistance(e.features[set], site.Point(), func(_ int, en rtree.Entry, d float64) bool {
 		if en.ItemID == site.ItemID {
 			return true
 		}

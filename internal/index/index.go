@@ -78,6 +78,9 @@ type Options struct {
 	PageSize int
 	// BufferPages is the LRU buffer-pool capacity in pages.
 	BufferPages int
+	// PoolStripes is the number of independent LRU shards in each buffer
+	// pool (0 or 1 = classic single-lock pool; see rtree.Config).
+	PoolStripes int
 	// CurveBits is the per-dimension resolution of the bulk-load Hilbert
 	// sort (default 16).
 	CurveBits uint
@@ -130,6 +133,7 @@ func BuildFeatureIndex(features []Feature, opts Options) (*FeatureIndex, error) 
 		KeywordWidth: treeWidth,
 		WithScore:    true,
 		BufferPages:  opts.BufferPages,
+		PoolStripes:  opts.PoolStripes,
 		Disk:         opts.Disk,
 	})
 	if err != nil {
@@ -137,7 +141,7 @@ func BuildFeatureIndex(features []Feature, opts Options) (*FeatureIndex, error) 
 	}
 	idx := &FeatureIndex{tree: tree, kind: opts.Kind, opts: opts, sigBits: opts.SignatureBits}
 	if idx.sigBits > 0 {
-		idx.records = newRecordFile(opts.VocabWidth, opts.PageSize, opts.BufferPages)
+		idx.records = newRecordFile(opts.VocabWidth, opts.PageSize, opts.BufferPages, opts.PoolStripes)
 		for _, f := range features {
 			if err := idx.records.put(f.ID, f.Keywords); err != nil {
 				return nil, err
@@ -303,6 +307,7 @@ func BuildObjectIndex(objects []Object, opts Options) (*ObjectIndex, error) {
 	tree, err := rtree.New(rtree.Config{
 		PageSize:    opts.PageSize,
 		BufferPages: opts.BufferPages,
+		PoolStripes: opts.PoolStripes,
 		Disk:        opts.Disk,
 	})
 	if err != nil {

@@ -114,7 +114,7 @@ type recordFile struct {
 }
 
 // newRecordFile creates an empty record file on a fresh in-memory disk.
-func newRecordFile(width, pageSize, bufferPages int) *recordFile {
+func newRecordFile(width, pageSize, bufferPages, poolStripes int) *recordFile {
 	if pageSize <= 0 {
 		pageSize = storage.DefaultPageSize
 	}
@@ -127,7 +127,7 @@ func newRecordFile(width, pageSize, bufferPages int) *recordFile {
 		perPage = 1
 	}
 	return &recordFile{
-		pool:     storage.NewBufferPool(storage.NewMemDisk(pageSize), bufferPages),
+		pool:     storage.NewStripedBufferPool(storage.NewMemDisk(pageSize), bufferPages, poolStripes),
 		width:    width,
 		recSize:  recSize,
 		perPage:  perPage,
@@ -186,7 +186,8 @@ func (r *recordFile) get(id int64) (kwset.Set, error) {
 	for w := range raw {
 		raw[w] = binary.LittleEndian.Uint64(buf[off+8*w:])
 	}
-	return kwset.FromBits(r.width, raw), nil
+	// raw is freshly allocated here, so the set can take ownership.
+	return kwset.FromBitsOwned(r.width, raw), nil
 }
 
 // stats returns the record pool's I/O counters.

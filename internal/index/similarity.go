@@ -47,23 +47,30 @@ func (s Similarity) String() string {
 // Sim computes the similarity between a feature's keywords and the query
 // keywords. Empty inputs yield 0.
 func (s Similarity) Sim(t, w kwset.Set) float64 {
-	inter := t.IntersectCount(w)
-	if inter == 0 {
-		return 0
-	}
 	switch s {
-	case Dice:
-		return 2 * float64(inter) / float64(t.Count()+w.Count())
-	case Cosine:
-		return float64(inter) / math.Sqrt(float64(t.Count())*float64(w.Count()))
-	case Overlap:
-		m := t.Count()
-		if wc := w.Count(); wc < m {
-			m = wc
+	case Dice, Cosine, Overlap:
+		inter := t.IntersectCount(w)
+		if inter == 0 {
+			return 0
 		}
-		return float64(inter) / float64(m)
-	default: // Jaccard
-		return float64(inter) / float64(t.UnionCount(w))
+		switch s {
+		case Dice:
+			return 2 * float64(inter) / float64(t.Count()+w.Count())
+		case Cosine:
+			return float64(inter) / math.Sqrt(float64(t.Count())*float64(w.Count()))
+		default: // Overlap
+			m := t.Count()
+			if wc := w.Count(); wc < m {
+				m = wc
+			}
+			return float64(inter) / float64(m)
+		}
+	default: // Jaccard: one fused popcount pass over the bit words
+		inter, union := t.IntersectUnionCount(w)
+		if inter == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
 	}
 }
 

@@ -145,6 +145,12 @@ func (v *Vocabulary) Decode(s Set) []string {
 type Set struct {
 	bits []uint64
 	w    int // width in bits (number of vocabulary slots)
+	// card caches the cardinality as Count()+1; 0 means unknown. Sets built
+	// through NewSet/Add/Remove keep it current, so Count() on query
+	// keyword sets is O(1) in the per-node-visit similarity kernels; sets
+	// decoded from raw bits leave it unknown and Count() falls back to a
+	// popcount pass.
+	card int
 }
 
 // NewSet returns an empty set able to hold keyword ids in [0, width).
@@ -152,7 +158,7 @@ func NewSet(width int) Set {
 	if width < 0 {
 		width = 0
 	}
-	return Set{bits: make([]uint64, (width+63)/64), w: width}
+	return Set{bits: make([]uint64, (width+63)/64), w: width, card: 1}
 }
 
 // SetFromWords is a convenience constructor for tests: it builds a set of
@@ -176,7 +182,11 @@ func (s *Set) Add(id int) {
 	if id >= s.w {
 		s.grow(id + 1)
 	}
-	s.bits[id/64] |= 1 << (uint(id) % 64)
+	mask := uint64(1) << (uint(id) % 64)
+	if s.bits[id/64]&mask == 0 && s.card > 0 {
+		s.card++
+	}
+	s.bits[id/64] |= mask
 }
 
 // Remove deletes the keyword id from the set.
@@ -184,7 +194,11 @@ func (s *Set) Remove(id int) {
 	if id < 0 || id >= s.w {
 		return
 	}
-	s.bits[id/64] &^= 1 << (uint(id) % 64)
+	mask := uint64(1) << (uint(id) % 64)
+	if s.bits[id/64]&mask != 0 && s.card > 0 {
+		s.card--
+	}
+	s.bits[id/64] &^= mask
 }
 
 // grow widens the set to at least width bits.
@@ -208,8 +222,13 @@ func (s Set) Has(id int) bool {
 	return s.bits[id/64]&(1<<(uint(id)%64)) != 0
 }
 
-// Count returns the number of keywords in the set.
+// Count returns the number of keywords in the set. Sets whose cardinality
+// is cached (anything built through NewSet/Add/Remove/Clone) answer in
+// O(1); sets decoded from raw bits fall back to a popcount pass.
 func (s Set) Count() int {
+	if s.card > 0 {
+		return s.card - 1
+	}
 	n := 0
 	for _, b := range s.bits {
 		n += bits.OnesCount64(b)
@@ -229,7 +248,7 @@ func (s Set) IsEmpty() bool {
 
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
-	c := Set{bits: make([]uint64, len(s.bits)), w: s.w}
+	c := Set{bits: make([]uint64, len(s.bits)), w: s.w, card: s.card}
 	copy(c.bits, s.bits)
 	return c
 }
@@ -247,6 +266,7 @@ func (s Set) Union(t Set) Set {
 	if b.w > out.w {
 		out.w = b.w
 	}
+	out.card = 0 // cardinality unknown after bulk OR
 	return out
 }
 
@@ -259,6 +279,7 @@ func (s *Set) UnionInPlace(t Set) {
 	for i, bb := range t.bits {
 		s.bits[i] |= bb
 	}
+	s.card = 0 // cardinality unknown after bulk OR
 }
 
 // Intersect returns s ∩ t.
@@ -275,6 +296,7 @@ func (s Set) Intersect(t Set) Set {
 	for i := 0; i < n; i++ {
 		out.bits[i] = s.bits[i] & t.bits[i]
 	}
+	out.card = 0 // cardinality unknown after bulk AND
 	return out
 }
 
@@ -342,15 +364,35 @@ func (s Set) Equal(t Set) bool {
 	return true
 }
 
+// IntersectUnionCount returns |s ∩ t| and |s ∪ t| in a single fused pass
+// over the bit words, without allocating. It is the inner loop of the
+// Jaccard similarity kernel: one load pair per word instead of two.
+func (s Set) IntersectUnionCount(t Set) (inter, union int) {
+	a, b := s.bits, t.bits
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for i, aa := range a {
+		if i < len(b) {
+			bb := b[i]
+			inter += bits.OnesCount64(aa & bb)
+			union += bits.OnesCount64(aa | bb)
+		} else {
+			union += bits.OnesCount64(aa)
+		}
+	}
+	return inter, union
+}
+
 // Jaccard returns the Jaccard similarity |s∩t| / |s∪t| ∈ [0,1].
 // Two empty sets have similarity 0, matching the paper's convention that a
 // feature with no overlapping keyword is irrelevant.
 func (s Set) Jaccard(t Set) float64 {
-	u := s.UnionCount(t)
-	if u == 0 {
+	inter, union := s.IntersectUnionCount(t)
+	if union == 0 {
 		return 0
 	}
-	return float64(s.IntersectCount(t)) / float64(u)
+	return float64(inter) / float64(union)
 }
 
 // ContainmentBound returns |s ∩ q| / |q|, the upper bound ŝ textual factor
@@ -398,7 +440,27 @@ func FromBits(width int, raw []uint64) Set {
 	if width%64 != 0 && len(s.bits) > 0 {
 		s.bits[len(s.bits)-1] &= (1 << uint(width%64)) - 1
 	}
+	s.card = 0 // cardinality unknown for decoded bits
 	return s
+}
+
+// FromBitsOwned constructs a set of the given width that takes ownership of
+// raw: the slice is aliased, not copied, and excess bits beyond width are
+// masked off in place. Page decoding uses it with a per-node arena so each
+// entry's keyword set costs zero extra allocations; callers must not reuse
+// raw afterwards.
+func FromBitsOwned(width int, raw []uint64) Set {
+	if width < 0 {
+		width = 0
+	}
+	words := (width + 63) / 64
+	if len(raw) > words {
+		raw = raw[:words]
+	}
+	if width%64 != 0 && len(raw) == words && words > 0 {
+		raw[words-1] &= (1 << uint(width%64)) - 1
+	}
+	return Set{bits: raw, w: width}
 }
 
 // String renders the set as a sorted id list, for debugging.

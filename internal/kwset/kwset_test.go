@@ -271,3 +271,138 @@ func TestContainmentBoundEmptyQuery(t *testing.T) {
 		t.Errorf("empty query bound = %v, want 0", got)
 	}
 }
+
+// cardOracle recomputes cardinality from the raw bits, bypassing the cache.
+func cardOracle(s Set) int {
+	n := 0
+	for _, b := range s.WordsBits() {
+		n += popcount(b)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestCountCacheMaintained(t *testing.T) {
+	s := NewSet(200)
+	check := func(op string) {
+		t.Helper()
+		if got, want := s.Count(), cardOracle(s); got != want {
+			t.Fatalf("after %s: Count = %d, oracle = %d", op, got, want)
+		}
+	}
+	check("NewSet")
+	s.Add(3)
+	check("Add(3)")
+	s.Add(3) // duplicate add must not double-count
+	check("Add(3) again")
+	s.Add(199)
+	check("Add(199)")
+	s.Add(512) // grows the set
+	check("Add(512)")
+	s.Remove(3)
+	check("Remove(3)")
+	s.Remove(3) // removing an absent id must not under-count
+	check("Remove(3) again")
+	s.Remove(-1)
+	check("Remove(-1)")
+	c := s.Clone()
+	if got, want := c.Count(), cardOracle(c); got != want {
+		t.Fatalf("Clone: Count = %d, oracle = %d", got, want)
+	}
+	c.Add(7)
+	check("Clone mutation must not affect original")
+}
+
+func TestCountAfterBulkOps(t *testing.T) {
+	a := SetFromWords(128, 1, 2, 3, 100)
+	b := SetFromWords(128, 3, 4, 100, 127)
+	cases := []struct {
+		name string
+		s    Set
+		want int
+	}{
+		{"Union", a.Union(b), 6},
+		{"Intersect", a.Intersect(b), 2},
+		{"FromBits", FromBits(128, a.WordsBits()), 4},
+		{"FromBitsOwned", FromBitsOwned(128, append([]uint64(nil), b.WordsBits()...)), 4},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Count(); got != tc.want {
+			t.Errorf("%s.Count = %d, want %d", tc.name, got, tc.want)
+		}
+		if got, want := tc.s.Count(), cardOracle(tc.s); got != want {
+			t.Errorf("%s: Count = %d, oracle = %d", tc.name, got, want)
+		}
+	}
+	u := a.Clone()
+	u.UnionInPlace(b)
+	if got := u.Count(); got != 6 {
+		t.Errorf("UnionInPlace Count = %d, want 6", got)
+	}
+}
+
+func TestIntersectUnionCount(t *testing.T) {
+	cases := []struct {
+		a, b                 Set
+		wantInter, wantUnion int
+	}{
+		{SetFromWords(64, 1, 2, 3), SetFromWords(64, 2, 3, 4), 2, 4},
+		{SetFromWords(64, 1), SetFromWords(256, 200), 0, 2},
+		{SetFromWords(256, 1, 200), SetFromWords(64, 1), 1, 2},
+		{NewSet(64), NewSet(64), 0, 0},
+		{Set{}, SetFromWords(64, 5), 0, 1},
+	}
+	for i, tc := range cases {
+		inter, union := tc.a.IntersectUnionCount(tc.b)
+		if inter != tc.wantInter || union != tc.wantUnion {
+			t.Errorf("case %d: IntersectUnionCount = (%d, %d), want (%d, %d)",
+				i, inter, union, tc.wantInter, tc.wantUnion)
+		}
+		if gi, gu := tc.a.IntersectCount(tc.b), tc.a.UnionCount(tc.b); inter != gi || union != gu {
+			t.Errorf("case %d: fused (%d, %d) disagrees with separate (%d, %d)", i, inter, union, gi, gu)
+		}
+	}
+}
+
+func TestFromBitsOwnedAliasesAndMasks(t *testing.T) {
+	raw := []uint64{^uint64(0), ^uint64(0)}
+	s := FromBitsOwned(70, raw)
+	if got := s.Count(); got != 70 {
+		t.Errorf("Count = %d, want 70 (excess bits must be masked)", got)
+	}
+	if raw[1] != (1<<6)-1 {
+		t.Errorf("masking must happen in place, raw[1] = %#x", raw[1])
+	}
+	if &raw[0] != &s.WordsBits()[0] {
+		t.Error("FromBitsOwned must alias, not copy")
+	}
+	// Longer raw slices are truncated to the width's word count.
+	long := []uint64{1, 2, 3, 4}
+	if got := FromBitsOwned(128, long); len(got.WordsBits()) != 2 {
+		t.Errorf("words = %d, want 2", len(got.WordsBits()))
+	}
+}
+
+func TestAllocsJaccard(t *testing.T) {
+	a := SetFromWords(512, 1, 64, 200, 511)
+	b := SetFromWords(512, 64, 128, 200)
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += a.Jaccard(b)
+	})
+	if allocs != 0 {
+		t.Errorf("Jaccard allocs/op = %v, want 0", allocs)
+	}
+	inter, union := 2, 5
+	if want := float64(inter) / float64(union); a.Jaccard(b) != want {
+		t.Errorf("Jaccard = %v, want %v", a.Jaccard(b), want)
+	}
+	_ = sink
+}

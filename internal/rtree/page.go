@@ -80,6 +80,15 @@ func (t *Tree) decodeNode(data []byte) (*Node, error) {
 	n.Entries = make([]Entry, count)
 	off := nodeHeaderSize
 	words := kwWords(t.cfg.KeywordWidth)
+	// One keyword arena per node instead of one slice per entry: decode is
+	// the hottest allocation site in the whole read path (every page visit
+	// of every query), and entries outlive the pool's page buffer (they are
+	// retained in candidate heaps), so the bits must be copied out — but
+	// one bulk allocation suffices for all entries of the node.
+	var arena []uint64
+	if words > 0 && count > 0 {
+		arena = make([]uint64, words*count)
+	}
 	for i := 0; i < count; i++ {
 		e := &n.Entries[i]
 		if n.Leaf {
@@ -105,12 +114,12 @@ func (t *Tree) decodeNode(data []byte) (*Node, error) {
 			e.Score, off = getFloat(data, off)
 		}
 		if words > 0 {
-			raw := make([]uint64, words)
+			raw := arena[i*words : (i+1)*words : (i+1)*words]
 			for w := 0; w < words; w++ {
 				raw[w] = binary.LittleEndian.Uint64(data[off:])
 				off += 8
 			}
-			e.Keywords = kwset.FromBits(t.cfg.KeywordWidth, raw)
+			e.Keywords = kwset.FromBitsOwned(t.cfg.KeywordWidth, raw)
 		}
 	}
 	return n, nil

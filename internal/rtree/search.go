@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"stpq/internal/geo"
 )
 
@@ -88,9 +86,9 @@ func (t *Tree) AscendDistance(center geo.Point, fn func(Entry, float64) bool) er
 		return err
 	}
 	pq := &distQueue{}
-	heap.Push(pq, distItem{entry: root, dist: root.Rect.MinDist(center)})
+	pq.push(distItem{entry: root, dist: root.Rect.MinDist(center)})
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+		it := pq.pop()
 		if it.entry.Leaf {
 			if !fn(it.entry, it.dist) {
 				return nil
@@ -103,7 +101,7 @@ func (t *Tree) AscendDistance(center geo.Point, fn func(Entry, float64) bool) er
 		}
 		for _, c := range n.Entries {
 			d := c.Rect.MinDist(center)
-			heap.Push(pq, distItem{entry: c, dist: d})
+			pq.push(distItem{entry: c, dist: d})
 		}
 	}
 	return nil
@@ -118,16 +116,49 @@ type distItem struct {
 // distQueue is a min-heap over distances.
 type distQueue []distItem
 
-func (q distQueue) Len() int            { return len(q) }
-func (q distQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distItem)) }
-func (q *distQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q distQueue) Len() int { return len(q) }
+
+// push and pop are typed heap operations: the container/heap interface
+// would box every distItem, costing an allocation per operation on the
+// distance-ascent hot path.
+func (q *distQueue) push(it distItem) {
+	s := append(*q, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].dist <= s[i].dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*q = s
+}
+
+func (q *distQueue) pop() distItem {
+	s := *q
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = distItem{}
+	s = s[:n]
+	*q = s
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].dist < s[l].dist {
+			m = r
+		}
+		if s[m].dist >= s[i].dist {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // All returns every indexed item (leaf-order scan). It is the sequential

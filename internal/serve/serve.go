@@ -153,6 +153,18 @@ func (s *Service) start() {
 	}
 }
 
+// CacheHitFraction returns the fraction of query lookups served from the
+// result cache, hits / (hits + misses). It returns 0 before any lookup,
+// never NaN: a freshly started (or cache-disabled) service reports a cold
+// cache, not a division by zero.
+func (s *Service) CacheHitFraction() float64 {
+	hits, misses := s.hits.Value(), s.misses.Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // Metrics returns the service's own registry (cache hit/miss, admission
 // rejections, serve latency). The DB's registry is separate.
 func (s *Service) Metrics() *obs.Registry { return s.metrics }

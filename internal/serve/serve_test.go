@@ -344,3 +344,32 @@ func TestNewRequiresBuiltDB(t *testing.T) {
 		t.Errorf("err = %v, want ErrNotBuilt", err)
 	}
 }
+
+func TestCacheHitFraction(t *testing.T) {
+	db := testDB(t, stpq.Config{}, 300, 300)
+	svc, err := New(db, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// No lookups yet: must be 0, not NaN.
+	if got := svc.CacheHitFraction(); got != 0 {
+		t.Fatalf("cold CacheHitFraction = %v, want 0", got)
+	}
+	q := testQuery(5)
+	if _, err := svc.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	// One miss, zero hits.
+	if got := svc.CacheHitFraction(); got != 0 {
+		t.Fatalf("after one miss CacheHitFraction = %v, want 0", got)
+	}
+	if _, err := svc.Do(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	// One miss, one hit.
+	if got := svc.CacheHitFraction(); got != 0.5 {
+		t.Fatalf("after one hit CacheHitFraction = %v, want 0.5", got)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -14,11 +15,21 @@ import (
 //
 // The pool is intentionally simple: pages are read-mostly once an index is
 // built, so there is no dirty-page write-back path — WriteThrough stores
-// pages synchronously. The read path (Get) is safe for concurrent use: a
-// mutex protects the LRU state and the lifetime counters are atomics, so
-// any number of query goroutines may share one pool. Writes (WriteThrough)
-// must not race reads — they only happen while an index is being built or
-// mutated, which the layers above already serialize against queries.
+// pages synchronously. The read path (Get) is safe for concurrent use and
+// the lifetime counters are atomics, so any number of query goroutines may
+// share one pool. Writes (WriteThrough) must not race reads — they only
+// happen while an index is being built or mutated, which the layers above
+// already serialize against queries.
+//
+// LRU state is lock-striped: pages are spread over N independent LRU
+// shards keyed by a PageID hash, each with its own mutex, so concurrent
+// readers touching different stripes never contend. NewBufferPool builds a
+// single stripe — byte-for-byte the classic one-mutex pool with one global
+// LRU order — and NewStripedBufferPool opts into N stripes. Striping
+// partitions the LRU order (eviction decisions become stripe-local) but
+// every counter keeps exact pool-wide semantics: logical/physical/write/
+// eviction counts are shared atomics, and per-query Session accounting is
+// untouched.
 //
 // Per-query read accounting uses session handles (see Session): the paper
 // attributes page reads to individual queries, and under concurrency the
@@ -36,10 +47,8 @@ type BufferPool struct {
 type poolShared struct {
 	disk     Disk
 	capacity int
-
-	mu      sync.Mutex // guards lru and entries
-	lru     *list.List // front = most recently used; values are *frame
-	entries map[PageID]*list.Element
+	shift    uint // hash >> shift selects a stripe; 64 for one stripe
+	stripes  []poolStripe
 
 	logical   atomic.Int64
 	physical  atomic.Int64
@@ -47,6 +56,16 @@ type poolShared struct {
 	evictions atomic.Int64
 
 	metrics atomic.Pointer[PoolMetrics] // optional aggregate metrics
+}
+
+// poolStripe is one independent LRU shard. The trailing pad keeps hot
+// stripes on separate cache lines so uncontended stripes don't false-share.
+type poolStripe struct {
+	mu       sync.Mutex // guards lru and entries
+	capacity int
+	lru      *list.List // front = most recently used; values are *frame
+	entries  map[PageID]*list.Element
+	_        [40]byte
 }
 
 // PoolMetrics aggregates one buffer pool's counters into a metrics
@@ -79,19 +98,59 @@ type frame struct {
 	data []byte
 }
 
-// NewBufferPool wraps disk with an LRU cache of capacity pages.
+// NewBufferPool wraps disk with an LRU cache of capacity pages behind a
+// single stripe: one mutex, one global LRU order — the exact semantics of
+// the classic pool, so serial I/O counts are reproducible run to run.
 // A capacity of 0 disables caching entirely (every read is physical),
 // which is useful for measuring worst-case I/O.
 func NewBufferPool(disk Disk, capacity int) *BufferPool {
+	return NewStripedBufferPool(disk, capacity, 1)
+}
+
+// NewStripedBufferPool wraps disk with an LRU cache of capacity pages
+// spread over stripes independent LRU shards. The stripe count is rounded
+// down to a power of two, clamped to [1, capacity] (so every stripe holds
+// at least one page), and the capacity is distributed across stripes as
+// evenly as possible — the total never differs from capacity.
+func NewStripedBufferPool(disk Disk, capacity, stripes int) *BufferPool {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &BufferPool{s: &poolShared{
+	if stripes < 1 {
+		stripes = 1
+	}
+	if capacity > 0 && stripes > capacity {
+		stripes = capacity
+	}
+	if capacity == 0 {
+		stripes = 1
+	}
+	// Round down to a power of two so stripe selection is a shift, not a
+	// modulo.
+	stripes = 1 << (bits.Len(uint(stripes)) - 1)
+	s := &poolShared{
 		disk:     disk,
 		capacity: capacity,
-		lru:      list.New(),
-		entries:  make(map[PageID]*list.Element),
-	}}
+		shift:    uint(64 - bits.TrailingZeros(uint(stripes))),
+		stripes:  make([]poolStripe, stripes),
+	}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.capacity = capacity / stripes
+		if i < capacity%stripes {
+			st.capacity++
+		}
+		st.lru = list.New()
+		st.entries = make(map[PageID]*list.Element)
+	}
+	return &BufferPool{s: s}
+}
+
+// stripe selects the LRU shard for a page. Fibonacci hashing spreads the
+// sequential PageIDs an index allocates uniformly over the stripes; with a
+// single stripe the shift is 64 and the expression is constant 0.
+func (s *poolShared) stripe(id PageID) *poolStripe {
+	return &s.stripes[(uint64(id)*0x9E3779B97F4A7C15)>>s.shift]
 }
 
 // Session returns a handle onto the same pool (same cache, same lifetime
@@ -105,14 +164,22 @@ func (b *BufferPool) Session(acct *Stats) *BufferPool {
 // Disk returns the underlying disk.
 func (b *BufferPool) Disk() Disk { return b.s.disk }
 
-// Capacity returns the pool capacity in pages.
+// Capacity returns the pool capacity in pages, summed over stripes.
 func (b *BufferPool) Capacity() int { return b.s.capacity }
+
+// Stripes returns the number of independent LRU shards.
+func (b *BufferPool) Stripes() int { return len(b.s.stripes) }
 
 // Len returns the number of cached pages.
 func (b *BufferPool) Len() int {
-	b.s.mu.Lock()
-	defer b.s.mu.Unlock()
-	return b.s.lru.Len()
+	n := 0
+	for i := range b.s.stripes {
+		st := &b.s.stripes[i]
+		st.mu.Lock()
+		n += st.lru.Len()
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // Get returns the contents of the page. The returned slice is owned by the
@@ -124,31 +191,32 @@ func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	if b.local != nil {
 		b.local.LogicalReads++
 	}
-	s.mu.Lock()
-	if el, ok := s.entries[id]; ok {
-		s.lru.MoveToFront(el)
+	st := s.stripe(id)
+	st.mu.Lock()
+	if el, ok := st.entries[id]; ok {
+		st.lru.MoveToFront(el)
 		data := el.Value.(*frame).data
-		s.mu.Unlock()
+		st.mu.Unlock()
 		if m := s.metrics.Load(); m != nil {
 			m.Hits.Inc()
 		}
 		return data, nil
 	}
-	// Miss: the disk read happens under the lock, so concurrent misses on
-	// the same page coalesce into one physical read — the behaviour of a
-	// real pool with page latches, and what keeps read accounting
-	// comparable between sequential and concurrent runs.
+	// Miss: the disk read happens under the stripe lock, so concurrent
+	// misses on the same page coalesce into one physical read — the
+	// behaviour of a real pool with page latches, and what keeps read
+	// accounting comparable between sequential and concurrent runs.
 	s.physical.Add(1)
 	if b.local != nil {
 		b.local.PhysicalReads++
 	}
 	data := make([]byte, s.disk.PageSize())
 	if err := s.disk.ReadPage(id, data); err != nil {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil, fmt.Errorf("bufferpool: %w", err)
 	}
-	b.insertLocked(id, data)
-	s.mu.Unlock()
+	b.insertLocked(st, id, data)
+	st.mu.Unlock()
 	if m := s.metrics.Load(); m != nil {
 		m.Misses.Inc()
 	}
@@ -165,34 +233,35 @@ func (b *BufferPool) WriteThrough(id PageID, data []byte) error {
 	if m := s.metrics.Load(); m != nil {
 		m.Writes.Inc()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	st := s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if err := s.disk.WritePage(id, data); err != nil {
 		return fmt.Errorf("bufferpool: %w", err)
 	}
-	if el, ok := s.entries[id]; ok {
+	if el, ok := st.entries[id]; ok {
 		f := el.Value.(*frame)
 		copy(f.data, data)
 		for i := len(data); i < len(f.data); i++ {
 			f.data[i] = 0
 		}
-		s.lru.MoveToFront(el)
+		st.lru.MoveToFront(el)
 	}
 	return nil
 }
 
-// insertLocked caches the page, evicting the least recently used page if
-// full. Callers hold s.mu.
-func (b *BufferPool) insertLocked(id PageID, data []byte) {
+// insertLocked caches the page in its stripe, evicting the stripe's least
+// recently used page if the stripe is full. Callers hold st.mu.
+func (b *BufferPool) insertLocked(st *poolStripe, id PageID, data []byte) {
 	s := b.s
-	if s.capacity == 0 {
+	if st.capacity == 0 {
 		return
 	}
-	if s.lru.Len() >= s.capacity {
-		back := s.lru.Back()
+	if st.lru.Len() >= st.capacity {
+		back := st.lru.Back()
 		if back != nil {
-			s.lru.Remove(back)
-			delete(s.entries, back.Value.(*frame).id)
+			st.lru.Remove(back)
+			delete(st.entries, back.Value.(*frame).id)
 			s.evictions.Add(1)
 			if b.local != nil {
 				b.local.Evictions++
@@ -202,14 +271,15 @@ func (b *BufferPool) insertLocked(id PageID, data []byte) {
 			}
 		}
 	}
-	s.entries[id] = s.lru.PushFront(&frame{id: id, data: data})
+	st.entries[id] = st.lru.PushFront(&frame{id: id, data: data})
 }
 
 // Contains reports whether the page is currently cached (for tests).
 func (b *BufferPool) Contains(id PageID) bool {
-	b.s.mu.Lock()
-	defer b.s.mu.Unlock()
-	_, ok := b.s.entries[id]
+	st := b.s.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.entries[id]
 	return ok
 }
 
@@ -234,8 +304,11 @@ func (b *BufferPool) ResetStats() {
 
 // Clear drops all cached pages (cold-cache measurements).
 func (b *BufferPool) Clear() {
-	b.s.mu.Lock()
-	defer b.s.mu.Unlock()
-	b.s.lru.Init()
-	b.s.entries = make(map[PageID]*list.Element)
+	for i := range b.s.stripes {
+		st := &b.s.stripes[i]
+		st.mu.Lock()
+		st.lru.Init()
+		st.entries = make(map[PageID]*list.Element)
+		st.mu.Unlock()
+	}
 }

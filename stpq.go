@@ -136,6 +136,14 @@ type Config struct {
 	// BufferPages is the per-index LRU buffer pool capacity in pages
 	// (default 1024).
 	BufferPages int
+	// PoolStripes splits every buffer pool into this many independently
+	// locked LRU shards (rounded down to a power of two) so concurrent
+	// queries stop contending on one pool mutex. 0 or 1 keeps the
+	// classic single-lock LRU, whose serial eviction order — and thus
+	// physical I/O counts — exactly matches the paper's cost model;
+	// striping keeps logical/physical accounting exact but makes
+	// eviction order depend on the page-to-stripe hash.
+	PoolStripes int
 	// IOCostPerPage converts physical page reads into modeled I/O time
 	// for Stats (default 100µs).
 	IOCostPerPage time.Duration
@@ -342,6 +350,7 @@ func (db *DB) buildLocked() error {
 		VocabWidth:    width,
 		PageSize:      db.cfg.PageSize,
 		BufferPages:   db.cfg.BufferPages,
+		PoolStripes:   db.cfg.PoolStripes,
 		SignatureBits: db.cfg.SignatureBits,
 	}
 	objs := make([]index.Object, len(db.objects))
