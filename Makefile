@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench-smoke bench-compare alloc-regression serve-smoke check
+.PHONY: build test race vet lint bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke check
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,41 @@ serve-smoke:
 	curl -fsS http://$(SMOKE_ADDR)/healthz && \
 	/tmp/stpqload-smoke -addr http://$(SMOKE_ADDR) -c 2 -n 50 -k 5 && \
 	curl -fsS http://$(SMOKE_ADDR)/metrics | grep -q stpq_serve_queries_total && \
+	kill -INT $$pid && wait $$pid
+
+# Crash-recovery smoke test: start a WAL-backed stpqd, apply durable
+# mutation batches over POST /ingest, SIGKILL the daemon (no graceful
+# shutdown), restart it on the same log + seed, and verify every
+# acknowledged mutation was replayed (stpq_ingest_replayed_total). A
+# short mixed read/write stpqload run then exercises the delta overlay
+# under load.
+INGEST_ADDR ?= 127.0.0.1:18322
+INGEST_WAL := /tmp/stpq-ingest-smoke-wal
+ingest-smoke:
+	$(GO) build -o /tmp/stpqd-smoke ./cmd/stpqd
+	$(GO) build -o /tmp/stpqload-smoke ./cmd/stpqload
+	rm -rf $(INGEST_WAL)
+	/tmp/stpqd-smoke -synthetic -objects 2000 -features 2000 -wal-dir $(INGEST_WAL) -addr $(INGEST_ADDR) & \
+	pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://$(INGEST_ADDR)/healthz >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://$(INGEST_ADDR)/ingest -d '{"objects":[{"id":900001,"x":0.5,"y":0.5}],"features":{"set1":[{"id":900002,"x":0.5,"y":0.5,"score":0.9,"keywords":["kw1"]}]}}' && echo && \
+	curl -fsS http://$(INGEST_ADDR)/ingest -d '{"objects":[{"id":900003,"x":0.25,"y":0.75}],"delete_objects":[17]}' && echo && \
+	curl -fsS http://$(INGEST_ADDR)/ingest -d '{"delete_features":{"set2":[42]}}' && echo && \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	/tmp/stpqd-smoke -synthetic -objects 2000 -features 2000 -wal-dir $(INGEST_WAL) -addr $(INGEST_ADDR) & \
+	pid=$$!; \
+	trap 'kill -INT $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://$(INGEST_ADDR)/healthz >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://$(INGEST_ADDR)/metrics | grep -q 'stpq_ingest_replayed_total 5$$' && \
+	echo "ingest-smoke: all 5 acknowledged mutations replayed after SIGKILL" && \
+	/tmp/stpqload-smoke -addr http://$(INGEST_ADDR) -c 2 -n 60 -k 5 -write-frac 0.3 && \
 	kill -INT $$pid && wait $$pid
 
 check: build vet test race

@@ -6,11 +6,13 @@
 //
 //	stpqd -synthetic -objects 20000 -features 20000 -addr :8080
 //	stpqd -synthetic -shards 4            # sharded scatter-gather engine
+//	stpqd -synthetic -wal-dir data/wal    # live ingest + crash recovery
 //	stpqd -open data/db -workers 8 -queue 128 -timeout 2s
 //
 // Endpoints:
 //
 //	POST /query    {"k":5,"radius":0.1,"lambda":0.5,"keywords":{"set":["kw1"]}}
+//	POST /ingest   {"objects":[...],"delete_objects":[...],"features":{...}}
 //	GET  /healthz  liveness; 503 until the index build completes
 //	GET  /readyz   alias of /healthz
 //	GET  /metrics  Prometheus text format
@@ -63,6 +65,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		cacheSize = flag.Int("cache", 256, "result cache entries (negative disables)")
 		stripes   = flag.Int("pool-stripes", 0, "buffer-pool lock stripes, rounded down to a power of two (0 or 1 = classic single-lock LRU)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory: enables POST /ingest and replays existing records on startup")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); enables low-rate mutex and block profiling")
 	)
 	flag.Parse()
@@ -70,7 +73,7 @@ func main() {
 		addr: *addr, open: *open, synthetic: *synthetic,
 		objects: *objects, features: *features, sets: *sets, vocab: *vocab,
 		seed: *seed, indexKind: *indexKind, shards: *shards, strategy: *strategy,
-		stripes: *stripes, pprofAddr: *pprofAddr,
+		stripes: *stripes, pprofAddr: *pprofAddr, walDir: *walDir,
 		serve: serve.Config{
 			Workers:      *workers,
 			QueueDepth:   *queue,
@@ -94,6 +97,7 @@ type daemonConfig struct {
 	shards              int
 	stripes             int
 	pprofAddr           string
+	walDir              string
 	serve               serve.Config
 }
 
@@ -204,13 +208,30 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 		return nil, errors.New("use either -open or -synthetic, not both")
 	case cfg.open != "":
 		if cfg.shards > 1 {
-			return nil, errors.New("-shards applies to -synthetic only (saved DBs are single-engine)")
+			return nil, errors.New("-shards applies to -synthetic only (opened DBs take their shard count from the manifest)")
 		}
 		if cfg.stripes > 1 {
 			log.Printf("warning: -pool-stripes applies to -synthetic only; opened DBs use the single-lock pool")
 		}
 		log.Printf("opening %s", cfg.open)
-		return stpq.Open(cfg.open)
+		db, err := stpq.Open(cfg.open)
+		if err != nil {
+			return nil, err
+		}
+		// Open auto-attaches the WAL recorded in the manifest; -wal-dir
+		// covers snapshots saved before a log existed.
+		if cfg.walDir != "" {
+			n, err := db.AttachWAL(cfg.walDir)
+			switch {
+			case errors.Is(err, stpq.ErrWALAttached):
+				log.Printf("WAL already attached via manifest; ignoring -wal-dir")
+			case err != nil:
+				return nil, err
+			default:
+				logReplay(db, n)
+			}
+		}
+		return db, nil
 	case cfg.synthetic:
 		kind := stpq.SRT
 		switch cfg.indexKind {
@@ -233,7 +254,7 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 			cfg.objects, cfg.sets, cfg.features, cfg.vocab, cfg.shards)
 		db := stpq.New(stpq.Config{
 			IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat,
-			PoolStripes: cfg.stripes,
+			PoolStripes: cfg.stripes, WALDir: cfg.walDir,
 		})
 		ds := datagen.Synthetic(datagen.SyntheticConfig{
 			Objects: cfg.objects, FeaturesPerSet: cfg.features, FeatureSets: cfg.sets,
@@ -261,8 +282,22 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 		if err := db.Build(); err != nil {
 			return nil, err
 		}
+		if cfg.walDir != "" {
+			// Build replayed any existing log over the deterministic
+			// synthetic base (same seed → same base → exact recovery).
+			logReplay(db, int(db.Metrics().Counters["stpq_ingest_replayed_total"]))
+		}
 		return db, nil
 	default:
 		return nil, errors.New("need a dataset: pass -open <dir> or -synthetic")
+	}
+}
+
+// logReplay reports crash-recovery progress at startup.
+func logReplay(db *stpq.DB, n int) {
+	if n > 0 {
+		log.Printf("WAL replay: recovered %d mutations (through seq %d)", n, db.WALSeq())
+	} else {
+		log.Printf("WAL attached: no records to replay")
 	}
 }

@@ -47,10 +47,14 @@ func main() {
 		kwPerSet = flag.Int("keywords", 2, "query keywords per feature set")
 		seed     = flag.Int64("seed", 1, "random seed for query generation")
 		warmup   = flag.Int("warmup", 0, "warmup requests sent before measuring; excluded from reported percentiles")
+		wfrac    = flag.Float64("write-frac", 0, "fraction of requests sent as POST /ingest mutation batches (0 = read-only)")
 	)
 	flag.Parse()
+	if *wfrac < 0 || *wfrac > 1 {
+		log.Fatalf("-write-frac %v outside [0,1]", *wfrac)
+	}
 	if err := run(*addr, *workers, *duration, *count, *k, *radius, *lambda,
-		*variant, *alg, *kwPerSet, *seed, *warmup); err != nil {
+		*variant, *alg, *kwPerSet, *seed, *warmup, *wfrac); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -58,12 +62,14 @@ func main() {
 // sample aggregates one worker's observations.
 type sample struct {
 	latencies []time.Duration
+	writeLats []time.Duration
 	cached    int
 	errs      map[int]int // HTTP status -> count (0 = transport error)
 }
 
 func run(addr string, workers int, duration time.Duration, count, k int,
-	radius, lambda float64, variant, alg string, kwPerSet int, seed int64, warmup int) error {
+	radius, lambda float64, variant, alg string, kwPerSet int, seed int64, warmup int,
+	writeFrac float64) error {
 	addr = strings.TrimSuffix(addr, "/")
 
 	if err := checkHealthz(addr); err != nil {
@@ -106,6 +112,15 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 			Keywords: randomKeywords(rng, names, info.Keywords, kwPerSet),
 		}
 	}
+	// shoot sends one request, flipping a biased coin between the read and
+	// write paths; warmup and the measured loop share the same mix.
+	shoot := func(rng *rand.Rand, s *sample) {
+		if writeFrac > 0 && rng.Float64() < writeFrac {
+			fireIngest(addr, randomIngest(rng, names, info.Keywords), s)
+			return
+		}
+		fire(addr, newReq(rng), s)
+	}
 	for i := range rngs {
 		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
 	}
@@ -121,7 +136,7 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 				defer wg.Done()
 				discard := &sample{errs: make(map[int]int)}
 				for n := split(warmup, i); n > 0; n-- {
-					fire(addr, newReq(rngs[i]), discard)
+					shoot(rngs[i], discard)
 				}
 			}(i)
 		}
@@ -145,7 +160,7 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 				if count <= 0 && time.Now().After(deadline) {
 					return
 				}
-				fire(addr, newReq(rngs[i]), s)
+				shoot(rngs[i], s)
 			}
 		}(i)
 	}
@@ -170,6 +185,47 @@ func randomKeywords(rng *rand.Rand, names []string, pool map[string][]string, kw
 		out[name] = kws
 	}
 	return out
+}
+
+// loadIDBase keeps load-generated ids clear of any realistic dataset.
+const loadIDBase = 1 << 40
+
+// randomIngest builds a small mutation batch: one object upsert and one
+// feature upsert per set, with keywords drawn from the server vocabulary.
+func randomIngest(rng *rand.Rand, names []string, pool map[string][]string) serve.IngestRequest {
+	req := serve.IngestRequest{
+		Objects: []serve.ObjectJSON{{
+			ID: loadIDBase + rng.Int63n(1<<20), X: rng.Float64(), Y: rng.Float64(),
+		}},
+		Features: make(map[string][]serve.FeatureJSON, len(names)),
+	}
+	for _, name := range names {
+		avail := pool[name]
+		req.Features[name] = []serve.FeatureJSON{{
+			ID: loadIDBase + rng.Int63n(1<<20), X: rng.Float64(), Y: rng.Float64(),
+			Score:    rng.Float64(),
+			Keywords: []string{avail[rng.Intn(len(avail))]},
+		}}
+	}
+	return req
+}
+
+// fireIngest sends one mutation batch and records its outcome.
+func fireIngest(addr string, req serve.IngestRequest, s *sample) {
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	resp, err := http.Post(addr+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		s.errs[0]++
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		s.errs[resp.StatusCode]++
+		return
+	}
+	s.writeLats = append(s.writeLats, time.Since(t0))
 }
 
 // fire sends one query and records its outcome.
@@ -229,11 +285,12 @@ func fetchInfo(addr string) (serve.Info, error) {
 
 // report merges worker samples and prints the summary.
 func report(samples []*sample, elapsed time.Duration) {
-	var all []time.Duration
+	var all, writes []time.Duration
 	cached, errTotal := 0, 0
 	errs := make(map[int]int)
 	for _, s := range samples {
 		all = append(all, s.latencies...)
+		writes = append(writes, s.writeLats...)
 		cached += s.cached
 		for code, n := range s.errs {
 			errs[code] += n
@@ -249,6 +306,12 @@ func report(samples []*sample, elapsed time.Duration) {
 		fmt.Printf("latency     p50 %s  p90 %s  p99 %s  max %s\n",
 			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[n-1])
 		fmt.Printf("cache hits  %d (%.1f%%)\n", cached, 100*float64(cached)/float64(n))
+	}
+	if w := len(writes); w > 0 {
+		sort.Slice(writes, func(i, j int) bool { return writes[i] < writes[j] })
+		fmt.Printf("ingests     %d ok, %.1f writes/s\n", w, float64(w)/elapsed.Seconds())
+		fmt.Printf("write lat   p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(writes, 0.50), quantile(writes, 0.90), quantile(writes, 0.99), writes[w-1])
 	}
 	if errTotal > 0 {
 		codes := make([]int, 0, len(errs))

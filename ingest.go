@@ -1,0 +1,623 @@
+package stpq
+
+// ingest.go is the public live write path: DB.Apply appends a mutation
+// batch to a write-ahead log, applies it to an in-memory delta, and
+// publishes a two-source overlay engine (base + delta) whose answers are
+// byte-identical to a from-scratch rebuild; DB.Flush merges the delta into
+// a new base generation; DB.Checkpoint makes the merged state durable and
+// trims the log; AttachWAL replays the log after a crash. The heavy
+// lifting lives in internal/ingest; see DESIGN.md §11.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"stpq/internal/core"
+	"stpq/internal/geo"
+	"stpq/internal/index"
+	"stpq/internal/ingest"
+	"stpq/internal/kwset"
+	"stpq/internal/obs"
+)
+
+// MutationOp identifies the kind of one mutation. The string values are
+// the WAL wire format — stable across versions.
+type MutationOp string
+
+const (
+	// OpUpsertObject inserts a data object or overwrites the one with the
+	// same id.
+	OpUpsertObject MutationOp = "upsert_object"
+	// OpDeleteObject deletes the data object with Mutation.ID.
+	OpDeleteObject MutationOp = "delete_object"
+	// OpUpsertFeature inserts a feature into set Mutation.Set or
+	// overwrites the one with the same id.
+	OpUpsertFeature MutationOp = "upsert_feature"
+	// OpDeleteFeature deletes the feature with Mutation.ID from set
+	// Mutation.Set.
+	OpDeleteFeature MutationOp = "delete_feature"
+)
+
+// Mutation is one element of an Apply batch.
+type Mutation struct {
+	Op MutationOp `json:"op"`
+	// Set names the target feature set (feature ops only).
+	Set string `json:"set,omitempty"`
+	// Object carries the object payload of OpUpsertObject.
+	Object *Object `json:"object,omitempty"`
+	// Feature carries the feature payload of OpUpsertFeature.
+	Feature *Feature `json:"feature,omitempty"`
+	// ID is the delete target of OpDeleteObject / OpDeleteFeature.
+	ID int64 `json:"id,omitempty"`
+}
+
+// DefaultAutoFlushOps is the delta size at which Apply merges into a new
+// base generation when Config.AutoFlushOps is 0.
+const DefaultAutoFlushOps = 4096
+
+// Ingest error sentinels.
+var (
+	// ErrNoWAL is returned by Apply when no write-ahead log is attached
+	// (set Config.WALDir or call AttachWAL after Build/Open).
+	ErrNoWAL = errors.New("stpq: no WAL attached")
+	// ErrWALAttached is returned by AttachWAL when a log is already
+	// attached.
+	ErrWALAttached = errors.New("stpq: WAL already attached")
+	// ErrIngestUnsupported is returned for DB configurations without a
+	// write path: sharded engines and signature-mode indexes.
+	ErrIngestUnsupported = errors.New("stpq: live ingest requires an unsharded, exact-keyword DB")
+	// ErrInvalidMutation wraps every mutation-validation error.
+	ErrInvalidMutation = errors.New("stpq: invalid mutation")
+)
+
+// Apply appends the batch to the WAL (returning only after it is durable
+// per the group-commit setting), applies it to the in-memory delta, and
+// atomically publishes a new engine generation serving base + delta.
+// Batches are applied atomically with respect to queries: a snapshot sees
+// either none or all of a batch. When the delta reaches the auto-flush
+// threshold, or a mutation introduces a keyword outside the indexed
+// vocabulary, Apply additionally merges delta into base (see Flush).
+func (db *DB) Apply(muts []Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	db.mu.RLock()
+	wal := db.wal
+	err := db.validateMutationsLocked(muts)
+	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if wal == nil {
+		return ErrNoWAL
+	}
+	payload, err := json.Marshal(muts)
+	if err != nil {
+		return fmt.Errorf("stpq: encoding mutations: %w", err)
+	}
+	// Durability first: the record is on disk before the state changes, so
+	// a crash at any later point replays it.
+	seq, err := wal.Append(payload)
+	if err != nil {
+		return fmt.Errorf("stpq: WAL append: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.applyBatchLocked(muts, true); err != nil {
+		return err
+	}
+	db.walSeq = seq
+	db.ingestApplied.Add(int64(len(muts)))
+	return nil
+}
+
+// Flush merges the pending delta into the raw data and rebuilds the base
+// indexes, publishing a new generation. A no-op when the delta is empty.
+// Flush does not trim the WAL — only Checkpoint moves the durable
+// watermark.
+func (db *DB) Flush() error {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.built {
+		return fmt.Errorf("%w: Flush before Build", ErrNotBuilt)
+	}
+	if db.delta == nil || db.delta.Empty() {
+		return nil
+	}
+	return db.mergeLocked(nil)
+}
+
+// PendingOps returns the number of mutations applied since the last merge
+// — the current delta size.
+func (db *DB) PendingOps() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.delta == nil {
+		return 0
+	}
+	return db.delta.Ops()
+}
+
+// WALSeq returns the sequence number of the last applied WAL record (0
+// before any append).
+func (db *DB) WALSeq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walSeq
+}
+
+// Checkpoint flushes the delta, saves the merged DB to dir (recording the
+// WAL position in the manifest), and drops the log segments the snapshot
+// makes redundant. After a crash, Open(dir) + the manifest's WALDir replay
+// only the records after the checkpoint.
+func (db *DB) Checkpoint(dir string) error {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	db.mu.Lock()
+	if !db.built {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: Checkpoint before Build", ErrNotBuilt)
+	}
+	wal := db.wal
+	if wal == nil {
+		db.mu.Unlock()
+		return ErrNoWAL
+	}
+	if db.delta != nil && !db.delta.Empty() {
+		if err := db.mergeLocked(nil); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	db.appliedSeq = db.walSeq
+	seq := db.walSeq
+	db.mu.Unlock()
+	if err := db.Save(dir); err != nil {
+		return err
+	}
+	return wal.DropThrough(seq)
+}
+
+// AttachWAL opens (or creates) the write-ahead log in dir and replays
+// every record after the DB's durable watermark — the manifest position
+// for opened DBs, the beginning of the log otherwise. It returns the
+// number of replayed mutations. Build and Open attach automatically when
+// Config.WALDir is set; AttachWAL serves DBs built programmatically.
+func (db *DB) AttachWAL(dir string) (int, error) {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.attachWALLocked(dir)
+}
+
+// attachWALLocked implements AttachWAL; callers hold both locks.
+func (db *DB) attachWALLocked(dir string) (int, error) {
+	if !db.built {
+		return 0, fmt.Errorf("%w: AttachWAL before Build", ErrNotBuilt)
+	}
+	if db.wal != nil {
+		return 0, ErrWALAttached
+	}
+	if err := db.ingestableLocked(); err != nil {
+		return 0, err
+	}
+	if len(db.objects) == 0 {
+		// Opened DBs do not retain the raw slices; rebuild them from the
+		// indexes so merges (which re-bulk-load from raw) work.
+		if err := db.materializeRawLocked(); err != nil {
+			return 0, err
+		}
+		db.objByID = make(map[int64]struct{}, len(db.objects))
+		for _, o := range db.objects {
+			db.objByID[o.ID] = struct{}{}
+		}
+	}
+	db.ingestApplied = db.metrics.Counter("stpq_ingest_applied_total")
+	db.ingestReplayed = db.metrics.Counter("stpq_ingest_replayed_total")
+	db.ingestMerges = db.metrics.Counter("stpq_ingest_merges_total")
+	fsync := db.metrics.Histogram("stpq_ingest_wal_fsync_seconds", obs.LatencyBuckets)
+	w, err := ingest.OpenWAL(dir, ingest.WALOptions{
+		SegmentBytes:  db.cfg.WALSegmentBytes,
+		GroupCommit:   db.cfg.WALGroupCommit,
+		FsyncObserver: fsync.Observe,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("stpq: opening WAL: %w", err)
+	}
+	replayed := 0
+	err = w.Replay(db.appliedSeq+1, func(seq uint64, payload []byte) error {
+		var muts []Mutation
+		if err := json.Unmarshal(payload, &muts); err != nil {
+			return fmt.Errorf("stpq: WAL record %d: %w", seq, err)
+		}
+		if err := db.validateMutationsLocked(muts); err != nil {
+			return fmt.Errorf("stpq: WAL record %d: %w", seq, err)
+		}
+		if err := db.applyBatchLocked(muts, false); err != nil {
+			return fmt.Errorf("stpq: WAL record %d: %w", seq, err)
+		}
+		db.walSeq = seq
+		replayed += len(muts)
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return 0, err
+	}
+	if db.delta != nil && !db.delta.Empty() {
+		if err := db.publishOverlayLocked(); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	if next := w.NextSeq(); db.walSeq < next-1 {
+		db.walSeq = next - 1
+	}
+	db.wal = w
+	db.ingestReplayed.Add(int64(replayed))
+	return replayed, nil
+}
+
+// CloseWAL flushes pending group commits and closes the log. The DB keeps
+// answering queries; Apply fails with ErrNoWAL afterwards.
+func (db *DB) CloseWAL() error {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.Close()
+	db.wal = nil
+	return err
+}
+
+// ingestableLocked rejects configurations without a write path.
+func (db *DB) ingestableLocked() error {
+	if db.base == nil {
+		return fmt.Errorf("%w (ShardCount %d)", ErrIngestUnsupported, db.cfg.ShardCount)
+	}
+	if db.cfg.SignatureBits > 0 {
+		return fmt.Errorf("%w (SignatureBits %d)", ErrIngestUnsupported, db.cfg.SignatureBits)
+	}
+	return nil
+}
+
+// validateMutationsLocked checks a batch against the current schema.
+func (db *DB) validateMutationsLocked(muts []Mutation) error {
+	if !db.built {
+		return fmt.Errorf("%w: Apply before Build", ErrNotBuilt)
+	}
+	if err := db.ingestableLocked(); err != nil {
+		return err
+	}
+	for i, m := range muts {
+		switch m.Op {
+		case OpUpsertObject:
+			if m.Object == nil {
+				return fmt.Errorf("%w: mutation %d: upsert_object without object", ErrInvalidMutation, i)
+			}
+		case OpDeleteObject:
+			// ID-only; nothing to check.
+		case OpUpsertFeature:
+			if m.Feature == nil {
+				return fmt.Errorf("%w: mutation %d: upsert_feature without feature", ErrInvalidMutation, i)
+			}
+			if m.Feature.Score < 0 || m.Feature.Score > 1 {
+				return fmt.Errorf("%w: mutation %d: feature score %v outside [0,1]", ErrInvalidMutation, i, m.Feature.Score)
+			}
+			if db.setPosLocked(m.Set) < 0 {
+				return fmt.Errorf("%w: mutation %d: unknown feature set %q", ErrInvalidMutation, i, m.Set)
+			}
+		case OpDeleteFeature:
+			if db.setPosLocked(m.Set) < 0 {
+				return fmt.Errorf("%w: mutation %d: unknown feature set %q", ErrInvalidMutation, i, m.Set)
+			}
+		default:
+			return fmt.Errorf("%w: mutation %d: unknown op %q", ErrInvalidMutation, i, m.Op)
+		}
+	}
+	return nil
+}
+
+// setPosLocked returns the position of a feature set name, or -1.
+func (db *DB) setPosLocked(name string) int {
+	for i, n := range db.setNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// applyBatchLocked applies one validated batch to the in-memory state:
+// the fast path routes it into the delta (feature inserts exercising the
+// R-tree insertion path and the Section 4.2 node-update rule) and, when
+// publish is set, swaps in a fresh overlay generation. Batches that grow
+// the vocabulary, and deltas that reach the auto-flush threshold, take the
+// merge path instead. Replay passes publish=false and publishes once at
+// the end.
+func (db *DB) applyBatchLocked(muts []Mutation, publish bool) error {
+	if db.batchGrowsVocabLocked(muts) {
+		return db.mergeLocked(muts)
+	}
+	if err := db.ensureDeltaLocked(); err != nil {
+		return err
+	}
+	for _, m := range muts {
+		switch m.Op {
+		case OpUpsertObject:
+			o := *m.Object
+			db.delta.UpsertObject(index.Object{ID: o.ID, Location: geo.Point{X: o.X, Y: o.Y}})
+		case OpDeleteObject:
+			db.delta.DeleteObject(m.ID)
+		case OpUpsertFeature:
+			f := *m.Feature
+			err := db.delta.UpsertFeature(db.setPosLocked(m.Set), index.Feature{
+				ID:       f.ID,
+				Location: geo.Point{X: f.X, Y: f.Y},
+				Score:    f.Score,
+				Keywords: db.vocab.LookupSet(f.Keywords...),
+			})
+			if err != nil {
+				return err
+			}
+		case OpDeleteFeature:
+			if err := db.delta.DeleteFeature(db.setPosLocked(m.Set), m.ID); err != nil {
+				return err
+			}
+		}
+	}
+	if t := db.autoFlushThreshold(); t > 0 && db.delta.Ops() >= t {
+		return db.mergeLocked(nil)
+	}
+	if publish {
+		return db.publishOverlayLocked()
+	}
+	return nil
+}
+
+// autoFlushThreshold resolves Config.AutoFlushOps (0 = default, negative =
+// disabled).
+func (db *DB) autoFlushThreshold() int {
+	if db.cfg.AutoFlushOps < 0 {
+		return 0
+	}
+	if db.cfg.AutoFlushOps == 0 {
+		return DefaultAutoFlushOps
+	}
+	return db.cfg.AutoFlushOps
+}
+
+// batchGrowsVocabLocked reports whether any upserted feature carries a
+// keyword outside the indexed vocabulary. The delta indexes are built at
+// the base vocabulary width, so such a batch must merge instead (the
+// rebuild re-interns and widens every index).
+func (db *DB) batchGrowsVocabLocked(muts []Mutation) bool {
+	for _, m := range muts {
+		if m.Op != OpUpsertFeature || m.Feature == nil {
+			continue
+		}
+		for _, w := range m.Feature.Keywords {
+			if kwset.Normalize(w) == "" {
+				continue // never indexable; Build drops it too
+			}
+			if db.vocab.Lookup(w) < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ensureDeltaLocked creates the delta layer on first use after a build.
+func (db *DB) ensureDeltaLocked() error {
+	if db.delta != nil {
+		return nil
+	}
+	d, err := ingest.NewDelta(index.Options{
+		Kind:        index.Kind(db.cfg.IndexKind),
+		VocabWidth:  db.vocab.Size(),
+		PageSize:    db.cfg.PageSize,
+		BufferPages: db.cfg.BufferPages,
+		PoolStripes: db.cfg.PoolStripes,
+	}, len(db.setNames))
+	if err != nil {
+		return err
+	}
+	db.delta = d
+	return nil
+}
+
+// publishOverlayLocked builds and swaps in a new overlay generation: the
+// base object tree filtered by tombstones, per-set feature groups made of
+// tombstone-filtered base parts plus an immutable clone of the delta part,
+// and the delta-resident objects merged at query time. The generation bump
+// invalidates serve-layer result caches exactly like a Rebuild.
+func (db *DB) publishOverlayLocked() error {
+	d := db.delta
+	objView := db.base.Objects().WithExclude(d.DeadObjects)
+	groups := make([]*index.FeatureGroup, len(db.setNames))
+	for i := range db.setNames {
+		ds := d.Sets[i]
+		baseParts := db.base.FeatureGroups()[i].Parts()
+		parts := make([]*index.FeatureIndex, 0, len(baseParts)+1)
+		for _, p := range baseParts {
+			parts = append(parts, p.WithExclude(ds.Dead))
+		}
+		if len(ds.Feats) > 0 {
+			clone, err := d.CloneIndex(i)
+			if err != nil {
+				return fmt.Errorf("stpq: cloning delta set %d: %w", i, err)
+			}
+			parts = append(parts, clone)
+		}
+		g, err := index.NewFeatureGroup(parts...)
+		if err != nil {
+			return err
+		}
+		groups[i] = g
+	}
+	eng, err := core.NewEngineWithGroups(objView, groups, db.cfg.coreOptions(db.metrics))
+	if err != nil {
+		return err
+	}
+	live := len(db.objByID) + len(d.Objects)
+	for id := range d.DeadObjects {
+		if _, ok := db.objByID[id]; ok {
+			live--
+		}
+	}
+	db.engine = ingest.NewOverlay(eng, d.Objects, live)
+	db.gen++
+	db.inverted = nil
+	return nil
+}
+
+// mergeLocked folds the delta (plus an optional trailing batch that could
+// not go through the delta) into the raw data and rebuilds the base —
+// the merge half of the merge/swap lifecycle. buildLocked publishes the
+// new generation atomically; in-flight queries drain on the old engine.
+func (db *DB) mergeLocked(extra []Mutation) error {
+	deadObj := make(map[int64]struct{})
+	upsObj := make(map[int64]Object)
+	deadFeat := make([]map[int64]struct{}, len(db.setNames))
+	upsFeat := make([]map[int64]Feature, len(db.setNames))
+	for i := range db.setNames {
+		deadFeat[i] = make(map[int64]struct{})
+		upsFeat[i] = make(map[int64]Feature)
+	}
+	if d := db.delta; d != nil {
+		for id := range d.DeadObjects {
+			deadObj[id] = struct{}{}
+		}
+		for id, o := range d.Objects {
+			upsObj[id] = Object{ID: id, X: o.Location.X, Y: o.Location.Y}
+		}
+		for i, ds := range d.Sets {
+			for id := range ds.Dead {
+				deadFeat[i][id] = struct{}{}
+			}
+			for id, f := range ds.Feats {
+				upsFeat[i][id] = Feature{
+					ID: id, X: f.Location.X, Y: f.Location.Y,
+					Score:    f.Score,
+					Keywords: db.vocab.Decode(f.Keywords),
+				}
+			}
+		}
+	}
+	for _, m := range extra {
+		switch m.Op {
+		case OpUpsertObject:
+			deadObj[m.Object.ID] = struct{}{}
+			upsObj[m.Object.ID] = *m.Object
+		case OpDeleteObject:
+			deadObj[m.ID] = struct{}{}
+			delete(upsObj, m.ID)
+		case OpUpsertFeature:
+			i := db.setPosLocked(m.Set)
+			deadFeat[i][m.Feature.ID] = struct{}{}
+			upsFeat[i][m.Feature.ID] = *m.Feature
+		case OpDeleteFeature:
+			i := db.setPosLocked(m.Set)
+			deadFeat[i][m.ID] = struct{}{}
+			delete(upsFeat[i], m.ID)
+		}
+	}
+	db.objects = foldSlice(db.objects, deadObj, upsObj, func(o Object) int64 { return o.ID })
+	for i, name := range db.setNames {
+		db.sets[name] = foldSlice(db.sets[name], deadFeat[i], upsFeat[i], func(f Feature) int64 { return f.ID })
+	}
+	// Intern into a clone so snapshots of the previous generation keep a
+	// stable vocabulary (same contract as Rebuild).
+	db.vocab = db.vocab.Clone()
+	db.delta = nil
+	if err := db.buildLocked(); err != nil {
+		return err
+	}
+	if db.ingestMerges != nil {
+		db.ingestMerges.Inc()
+	}
+	return nil
+}
+
+// foldSlice rebuilds a raw slice under tombstones and upserts: survivors
+// keep their original order, overwritten ids are replaced in place, and
+// new ids are appended in ascending id order — a deterministic fold, so
+// replaying the same WAL reproduces the same bulk-load input.
+func foldSlice[T any](in []T, dead map[int64]struct{}, ups map[int64]T, idOf func(T) int64) []T {
+	out := make([]T, 0, len(in)+len(ups))
+	pending := make(map[int64]T, len(ups))
+	for id, v := range ups {
+		pending[id] = v
+	}
+	for _, v := range in {
+		id := idOf(v)
+		if up, ok := pending[id]; ok {
+			out = append(out, up)
+			delete(pending, id)
+			continue
+		}
+		if _, ok := dead[id]; ok {
+			continue
+		}
+		out = append(out, v)
+	}
+	ids := make([]int64, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	for _, id := range ids {
+		out = append(out, pending[id])
+	}
+	return out
+}
+
+// materializeRawLocked reconstructs db.objects and db.sets from the base
+// indexes — the bridge that lets DBs loaded with Open (which drop the raw
+// slices) merge and rebuild.
+func (db *DB) materializeRawLocked() error {
+	objEntries, err := db.base.Objects().Tree().All()
+	if err != nil {
+		return fmt.Errorf("stpq: materializing objects: %w", err)
+	}
+	db.objects = make([]Object, len(objEntries))
+	for i, e := range objEntries {
+		db.objects[i] = Object{ID: e.ItemID, X: e.Point().X, Y: e.Point().Y}
+	}
+	for i, name := range db.setNames {
+		entries, err := db.base.FeatureGroups()[i].AllExact()
+		if err != nil {
+			return fmt.Errorf("stpq: materializing feature set %q: %w", name, err)
+		}
+		feats := make([]Feature, len(entries))
+		for j, e := range entries {
+			feats[j] = Feature{
+				ID: e.ItemID, X: e.Point().X, Y: e.Point().Y,
+				Score:    e.Score,
+				Keywords: db.vocab.Decode(e.Keywords),
+			}
+		}
+		db.sets[name] = feats
+	}
+	return nil
+}
+
+// sortInt64s sorts ascending (sort.Slice shim to keep the generic fold
+// free of reflection in the hot path).
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

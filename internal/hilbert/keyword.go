@@ -141,6 +141,18 @@ func UpdateNodeValue(prev, added Value) Value {
 	return EncodeKeywords(a, prev.w)
 }
 
+// NodeUpdateKeywords applies the Section 4.2 node-update rule to keyword
+// bitvectors: the previous node summary and the inserted entry's keywords
+// are encoded to Hilbert values, merged with UpdateNodeValue (decode → OR →
+// re-encode), and the result decoded back to a bitvector. Because
+// EncodeKeywords is a bijection this equals the plain bitwise union; the
+// live insertion path routes through it so the paper's rule is what
+// actually maintains node summaries online.
+func NodeUpdateKeywords(prev, added kwset.Set, width int) kwset.Set {
+	merged := UpdateNodeValue(EncodeKeywords(prev, width), EncodeKeywords(added, width))
+	return DecodeKeywords(merged)
+}
+
 // grayToBinary converts a Gray-coded value to its rank: b_{w-1} = g_{w-1},
 // b_j = b_{j+1} XOR g_j. Runs in O(w) bit operations using word-level
 // carry-less prefix parity.

@@ -211,6 +211,27 @@ func (x *FeatureIndex) Insert(f Feature) error {
 	return x.tree.Insert(rtree.Item{ID: f.ID, Location: f.Location, Score: f.Score, Keywords: x.treeKeywords(f.Keywords)})
 }
 
+// Delete removes the feature with the given id at the given location,
+// reporting whether it was found. In signature mode the record-file entry
+// is left behind: records are only consulted for ids surfaced from the
+// tree, so a stale record is unreachable.
+func (x *FeatureIndex) Delete(id int64, loc geo.Point) (bool, error) {
+	return x.tree.Delete(id, loc)
+}
+
+// WithExclude returns a read view of the index that hides the listed
+// feature ids — the tombstone filter of the live-ingest overlay. The
+// exclusion survives Session (the per-query view copies the tree handle,
+// exclusion set included).
+func (x *FeatureIndex) WithExclude(dead map[int64]struct{}) *FeatureIndex {
+	if len(dead) == 0 {
+		return x
+	}
+	c := *x
+	c.tree = x.tree.WithExclude(dead)
+	return &c
+}
+
 // Tree exposes the underlying paged R-tree for traversal.
 func (x *FeatureIndex) Tree() *rtree.Tree { return x.tree }
 
@@ -330,6 +351,21 @@ func BuildObjectIndex(objects []Object, opts Options) (*ObjectIndex, error) {
 // Insert adds one data object incrementally.
 func (x *ObjectIndex) Insert(o Object) error {
 	return x.tree.Insert(rtree.Item{ID: o.ID, Location: o.Location})
+}
+
+// Delete removes the object with the given id at the given location,
+// reporting whether it was found.
+func (x *ObjectIndex) Delete(id int64, loc geo.Point) (bool, error) {
+	return x.tree.Delete(id, loc)
+}
+
+// WithExclude returns a read view of the index that hides the listed
+// object ids (see FeatureIndex.WithExclude).
+func (x *ObjectIndex) WithExclude(dead map[int64]struct{}) *ObjectIndex {
+	if len(dead) == 0 {
+		return x
+	}
+	return &ObjectIndex{tree: x.tree.WithExclude(dead)}
 }
 
 // Tree exposes the underlying paged R-tree.

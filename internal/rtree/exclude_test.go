@@ -1,0 +1,136 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"stpq/internal/geo"
+)
+
+// WithExclude must hide tombstoned items from every search primitive while
+// leaving the canonical tree untouched.
+func TestWithExcludeHidesItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 16, WithScore: true})
+	items := randomItems(rng, 400, 16)
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := map[int64]struct{}{}
+	for i := 0; i < 120; i++ {
+		dead[int64(rng.Intn(400))] = struct{}{}
+	}
+	view := tr.WithExclude(dead)
+
+	collect := func(walk func(fn func(Entry) bool) error) map[int64]bool {
+		t.Helper()
+		seen := map[int64]bool{}
+		if err := walk(func(e Entry) bool {
+			seen[e.ItemID] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	everything := geo.Rect{Min: geo.Point{X: -1, Y: -1}, Max: geo.Point{X: 2, Y: 2}}
+	checks := map[string]map[int64]bool{
+		"SearchRect": collect(func(fn func(Entry) bool) error {
+			return view.SearchRect(everything, fn)
+		}),
+		"RangeSearch": collect(func(fn func(Entry) bool) error {
+			return view.RangeSearch(geo.Point{X: 0.5, Y: 0.5}, 2, fn)
+		}),
+		"AscendDistance": collect(func(fn func(Entry) bool) error {
+			return view.AscendDistance(geo.Point{X: 0.5, Y: 0.5}, func(e Entry, _ float64) bool {
+				return fn(e)
+			})
+		}),
+		"Leaves": collect(func(fn func(Entry) bool) error {
+			return view.Leaves(func(es []Entry) bool {
+				for _, e := range es {
+					if !fn(e) {
+						return false
+					}
+				}
+				return true
+			})
+		}),
+	}
+	if all, err := view.All(); err != nil {
+		t.Fatal(err)
+	} else {
+		seen := map[int64]bool{}
+		for _, e := range all {
+			seen[e.ItemID] = true
+		}
+		checks["All"] = seen
+	}
+	for name, seen := range checks {
+		for id := range dead {
+			if seen[id] {
+				t.Errorf("%s: tombstoned item %d surfaced", name, id)
+			}
+		}
+		if len(seen) != len(items)-len(dead) {
+			t.Errorf("%s: saw %d items, want %d", name, len(seen), len(items)-len(dead))
+		}
+	}
+
+	// The canonical tree still sees everything.
+	base := collect(func(fn func(Entry) bool) error {
+		return tr.SearchRect(everything, fn)
+	})
+	if len(base) != len(items) {
+		t.Fatalf("canonical tree saw %d items, want %d", len(base), len(items))
+	}
+	// An empty exclusion set is a no-op view.
+	if tr.WithExclude(nil) != tr {
+		t.Error("WithExclude(nil) should return the receiver")
+	}
+}
+
+// The no-split insert path maintains parent aggregates by absorbing the
+// inserted entry (decode→OR→encode for keywords); the result must be
+// indistinguishable from a full per-node re-fold — CheckInvariants verifies
+// containment, and a reference fold verifies tightness at the root.
+func TestInsertAbsorbMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := newTestTree(t, Config{PageSize: 512, KeywordWidth: 64, WithScore: true})
+	items := randomItems(rng, 600, 64)
+	for i, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Root summary must be exactly the fold of all items, not merely a
+	// superset: absorb keeps aggregates tight.
+	root, err := tr.RootEntry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKW := items[0].Keywords.Clone()
+	wantScore := items[0].Score
+	for _, it := range items[1:] {
+		wantKW.UnionInPlace(it.Keywords)
+		if it.Score > wantScore {
+			wantScore = it.Score
+		}
+	}
+	if !root.Keywords.Equal(wantKW) {
+		t.Error("root keyword summary is not the exact union of item keywords")
+	}
+	if root.Score != wantScore {
+		t.Errorf("root score = %v, want %v", root.Score, wantScore)
+	}
+}

@@ -3,6 +3,7 @@ package rtree
 import (
 	"fmt"
 
+	"stpq/internal/hilbert"
 	"stpq/internal/storage"
 )
 
@@ -39,10 +40,13 @@ func (t *Tree) insertAt(pid storagePage, d int, e Entry) (split *Entry, self *En
 	if err != nil {
 		return nil, nil, err
 	}
+	// The pre-insert aggregate: when the node does not split, its new
+	// summary is this entry absorbing e via the Section 4.2 update rule.
+	prev := t.entryAggregate(pid, n)
 	if d == t.height {
 		// Leaf level: place the entry here.
 		n.Entries = append(n.Entries, e)
-		return t.finishInsert(pid, n)
+		return t.finishInsert(pid, n, prev, e)
 	}
 	child := t.chooseSubtree(n, e)
 	childSplit, childSelf, err := t.insertAt(n.Entries[child].Child, d+1, e)
@@ -53,12 +57,32 @@ func (t *Tree) insertAt(pid storagePage, d int, e Entry) (split *Entry, self *En
 	if childSplit != nil {
 		n.Entries = append(n.Entries, *childSplit)
 	}
-	return t.finishInsert(pid, n)
+	return t.finishInsert(pid, n, prev, e)
+}
+
+// absorb folds the newly inserted entry into a node's previous aggregate
+// without re-scanning the node: rect union, score max, and — for the
+// keyword summary — the paper's decode→OR→encode node-update rule of
+// Section 4.2, routed through the Hilbert value domain exactly as the SRT
+// maintains e.W online.
+func (t *Tree) absorb(prev, inserted Entry) Entry {
+	out := prev
+	out.Rect = prev.Rect.Union(inserted.Rect)
+	if inserted.Score > out.Score {
+		out.Score = inserted.Score
+	}
+	if t.cfg.KeywordWidth > 0 {
+		out.Keywords = hilbert.NodeUpdateKeywords(prev.Keywords, inserted.Keywords, t.cfg.KeywordWidth)
+	}
+	return out
 }
 
 // finishInsert writes n back (splitting on overflow) and returns the new
-// sibling entry (if any) and the aggregate entry for pid.
-func (t *Tree) finishInsert(pid storagePage, n *Node) (*Entry, *Entry, error) {
+// sibling entry (if any) and the aggregate entry for pid. prev is the
+// node's pre-insert aggregate and inserted the new descendant entry; on
+// the no-split path the refreshed aggregate is prev absorbing inserted
+// (the paper's online node-update rule) rather than a full re-fold.
+func (t *Tree) finishInsert(pid storagePage, n *Node, prev, inserted Entry) (*Entry, *Entry, error) {
 	capacity := t.innerCap
 	if n.Leaf {
 		capacity = t.leafCap
@@ -67,7 +91,8 @@ func (t *Tree) finishInsert(pid storagePage, n *Node) (*Entry, *Entry, error) {
 		if err := t.updateNode(pid, n); err != nil {
 			return nil, nil, err
 		}
-		agg := t.entryAggregate(pid, n)
+		agg := t.absorb(prev, inserted)
+		agg.Child = pid
 		return nil, &agg, nil
 	}
 	a, b := t.quadraticSplit(n.Entries)

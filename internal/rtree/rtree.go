@@ -100,6 +100,9 @@ type Tree struct {
 	leafCap  int
 	innerCap int
 	minFill  int
+	// exclude hides the listed item ids from every read path (see
+	// WithExclude); nil on the canonical tree.
+	exclude map[int64]struct{}
 }
 
 // ErrEmptyTree is returned by operations that need at least one item.
@@ -178,6 +181,23 @@ func (t *Tree) WithPool(p *storage.BufferPool) *Tree {
 	return &c
 }
 
+// WithExclude returns a read view of the tree that hides the leaf entries
+// whose item ids appear in dead — the tombstone filter of the live-ingest
+// overlay. Filtering happens in Node, which every search primitive routes
+// through, so RangeSearch, AscendDistance, SearchPolygon, All and Leaves
+// never surface a hidden item. Internal-node aggregates still cover the
+// hidden items; bounds stay sound upper bounds, merely looser. The view
+// aliases the tree's structure and must not be mutated; Len keeps
+// reporting the unfiltered item count.
+func (t *Tree) WithExclude(dead map[int64]struct{}) *Tree {
+	if len(dead) == 0 {
+		return t
+	}
+	c := *t
+	c.exclude = dead
+	return &c
+}
+
 // Root returns the page id of the root node.
 func (t *Tree) Root() storage.PageID { return t.root }
 
@@ -194,13 +214,26 @@ func (t *Tree) LeafCapacity() int { return t.leafCap }
 func (t *Tree) InnerCapacity() int { return t.innerCap }
 
 // Node reads and decodes the node stored at page id. The decode cost is
-// CPU work on every visit, mirroring a real disk-based index.
+// CPU work on every visit, mirroring a real disk-based index. On a
+// WithExclude view, tombstoned leaf entries are dropped from the freshly
+// decoded node before it is returned.
 func (t *Tree) Node(id storage.PageID) (*Node, error) {
 	data, err := t.pool.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return t.decodeNode(data)
+	n, err := t.decodeNode(data)
+	if err != nil || len(t.exclude) == 0 || !n.Leaf {
+		return n, err
+	}
+	kept := n.Entries[:0]
+	for _, e := range n.Entries {
+		if _, dead := t.exclude[e.ItemID]; !dead {
+			kept = append(kept, e)
+		}
+	}
+	n.Entries = kept
+	return n, nil
 }
 
 // RootEntry returns a synthetic internal entry describing the whole tree:

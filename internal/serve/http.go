@@ -3,6 +3,7 @@ package serve
 // http.go is the HTTP front end used by cmd/stpqd:
 //
 //	POST /query    JSON query in, JSON results + per-query stats out
+//	POST /ingest   JSON mutation batch in, applied through the WAL (ingest.go)
 //	GET  /healthz  liveness (503 once Close has begun)
 //	GET  /readyz   alias of /healthz (cmd/stpqd answers both with 503
 //	               itself while the index is still building)
@@ -110,6 +111,7 @@ type errorResponse struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

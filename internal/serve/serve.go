@@ -90,6 +90,7 @@ type Service struct {
 	hits     *obs.Counter // stpq_serve_cache_hits_total
 	misses   *obs.Counter // stpq_serve_cache_misses_total
 	queries  *obs.Counter
+	ingests  *obs.Counter // stpq_serve_ingested_total (mutations via /ingest)
 	overload *obs.Counter
 	deadline *obs.Counter
 	latency  *obs.Histogram
@@ -135,6 +136,7 @@ func newUnstarted(db *stpq.DB, cfg Config) (*Service, error) {
 		hits:     reg.Counter("stpq_serve_cache_hits_total"),
 		misses:   reg.Counter("stpq_serve_cache_misses_total"),
 		queries:  reg.Counter("stpq_serve_queries_total"),
+		ingests:  reg.Counter("stpq_serve_ingested_total"),
 		overload: reg.Counter("stpq_serve_rejected_total{reason=\"overload\"}"),
 		deadline: reg.Counter("stpq_serve_rejected_total{reason=\"deadline\"}"),
 		latency:  reg.Histogram("stpq_serve_latency_seconds", obs.LatencyBuckets),

@@ -50,10 +50,31 @@ func hilbertKey(p geo.Point) uint64 {
 
 // partitioning assigns any point in the plane to one of `cells` cells. The
 // same function partitions objects and features, keeping each feature in
-// the part built next to the objects it most influences.
+// the part built next to the objects it most influences. It is pure data
+// (curve boundaries or grid geometry, never closures) so a saved sharded
+// engine can persist it and reopen with the identical cell function.
 type partitioning struct {
-	cells  int
-	assign func(geo.Point) int
+	strategy Strategy
+	cells    int
+	// bounds are the S−1 Hilbert-curve boundary keys (HilbertRuns).
+	bounds []uint64
+	// mbr/gx/gy are the grid geometry (FixedGrid).
+	mbr    geo.Rect
+	gx, gy int
+}
+
+// assign maps a point to its cell.
+func (p partitioning) assign(pt geo.Point) int {
+	if p.strategy == FixedGrid {
+		w := (p.mbr.Max.X - p.mbr.Min.X) / float64(p.gx)
+		h := (p.mbr.Max.Y - p.mbr.Min.Y) / float64(p.gy)
+		ix := gridCellOf(pt.X, p.mbr.Min.X, w, p.gx)
+		iy := gridCellOf(pt.Y, p.mbr.Min.Y, h, p.gy)
+		return iy*p.gx + ix
+	}
+	k := hilbertKey(pt)
+	// First boundary strictly above k; its index is the cell.
+	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > k })
 }
 
 // buildPartitioning derives the cell function from the object distribution.
@@ -89,14 +110,7 @@ func hilbertPartitioning(objects []index.Object, shards int) partitioning {
 			bounds = append(bounds, keys[i])
 		}
 	}
-	return partitioning{
-		cells: shards,
-		assign: func(p geo.Point) int {
-			k := hilbertKey(p)
-			// First boundary strictly above k; its index is the cell.
-			return sort.Search(len(bounds), func(i int) bool { return bounds[i] > k })
-		},
-	}
+	return partitioning{strategy: HilbertRuns, cells: shards, bounds: bounds}
 }
 
 // gridPartitioning factors S into Gx×Gy (Gx the largest divisor ≤ √S) over
@@ -117,27 +131,21 @@ func gridPartitioning(objects []index.Object, shards int) partitioning {
 	if mbr.IsEmpty() {
 		mbr = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1, Y: 1}}
 	}
-	w := (mbr.Max.X - mbr.Min.X) / float64(gx)
-	h := (mbr.Max.Y - mbr.Min.Y) / float64(gy)
-	cellOf := func(v, min, step float64, n int) int {
-		if step <= 0 {
-			return 0
-		}
-		i := int(math.Floor((v - min) / step))
-		if i < 0 {
-			return 0
-		}
-		if i >= n {
-			return n - 1
-		}
-		return i
+	return partitioning{strategy: FixedGrid, cells: shards, mbr: mbr, gx: gx, gy: gy}
+}
+
+// gridCellOf clamps a coordinate into one of n grid columns/rows. Points
+// outside the MBR — features can be — clamp to the nearest border cell.
+func gridCellOf(v, min, step float64, n int) int {
+	if step <= 0 {
+		return 0
 	}
-	return partitioning{
-		cells: shards,
-		assign: func(p geo.Point) int {
-			ix := cellOf(p.X, mbr.Min.X, w, gx)
-			iy := cellOf(p.Y, mbr.Min.Y, h, gy)
-			return iy*gx + ix
-		},
+	i := int(math.Floor((v - min) / step))
+	if i < 0 {
+		return 0
 	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }

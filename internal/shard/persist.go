@@ -1,0 +1,207 @@
+package shard
+
+// persist.go makes sharded engines durable: Save dumps every sub-engine
+// object index and every feature part as page files plus a JSON manifest
+// carrying the partitioning (Hilbert boundary keys or grid geometry) and
+// per-shard metadata; Open reverses it. The partitioning round-trips
+// exactly — it is pure data (see partition.go) — so an opened engine
+// assigns any future point to the same cell as the engine that saved it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"stpq/internal/core"
+	"stpq/internal/geo"
+	"stpq/internal/index"
+)
+
+// ManifestName is the sharded-engine manifest file inside the save
+// directory, distinct from the top-level DB manifest.
+const ManifestName = "shards.json"
+
+// shardMeta describes one persisted sub-engine.
+type shardMeta struct {
+	Cell    int        `json:"cell"`
+	Count   int        `json:"count"`
+	Rect    geo.Rect   `json:"rect"`
+	Objects index.Meta `json:"objects"`
+}
+
+// partitionMeta serializes the cell function.
+type partitionMeta struct {
+	Strategy int      `json:"strategy"`
+	Cells    int      `json:"cells"`
+	Bounds   []uint64 `json:"bounds,omitempty"`
+	MBR      geo.Rect `json:"mbr,omitempty"`
+	Gx       int      `json:"gx,omitempty"`
+	Gy       int      `json:"gy,omitempty"`
+}
+
+// manifest is the on-disk description of a sharded engine.
+type manifest struct {
+	Version   int           `json:"version"`
+	Total     int           `json:"total"`
+	Partition partitionMeta `json:"partition"`
+	Shards    []shardMeta   `json:"shards"`
+	// Features holds one meta per part, per feature set, in group order.
+	Features [][]index.Meta `json:"features"`
+}
+
+// Save writes the engine into dir (created if needed): one page dump per
+// sub-engine object index (objects_shardNN.pages), one per feature part
+// (features_S_partNN.pages), and the shard manifest.
+func (e *Engine) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	man := manifest{
+		Version: 1,
+		Total:   e.total,
+		Partition: partitionMeta{
+			Strategy: int(e.part.strategy),
+			Cells:    e.part.cells,
+			Bounds:   e.part.bounds,
+			MBR:      e.part.mbr,
+			Gx:       e.part.gx,
+			Gy:       e.part.gy,
+		},
+	}
+	for _, s := range e.shards {
+		meta, err := dumpIndex(filepath.Join(dir, fmt.Sprintf("objects_shard%02d.pages", s.id)), s.eng.Objects().Save)
+		if err != nil {
+			return err
+		}
+		man.Shards = append(man.Shards, shardMeta{Cell: s.cell, Count: s.count, Rect: s.rect, Objects: meta})
+	}
+	for i, g := range e.groups {
+		metas := make([]index.Meta, len(g.Parts()))
+		for j, p := range g.Parts() {
+			meta, err := dumpIndex(filepath.Join(dir, fmt.Sprintf("features_%d_part%02d.pages", i, j)), p.Save)
+			if err != nil {
+				return err
+			}
+			metas[j] = meta
+		}
+		man.Features = append(man.Features, metas)
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: save manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+		return fmt.Errorf("shard: save manifest: %w", err)
+	}
+	return nil
+}
+
+// Open loads an engine previously written by Save. opts supplies the
+// runtime knobs (parallelism, core options, metrics); the structural
+// options (partitioning, index geometry) come from the manifest and page
+// dumps.
+func Open(dir string, opts Options) (*Engine, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: open: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("shard: open manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("shard: unsupported shard manifest version %d", man.Version)
+	}
+	if len(man.Shards) == 0 {
+		return nil, errors.New("shard: manifest has no shards")
+	}
+	buffer := opts.Index.BufferPages
+
+	groups := make([]*index.FeatureGroup, len(man.Features))
+	for i, metas := range man.Features {
+		parts := make([]*index.FeatureIndex, len(metas))
+		for j, meta := range metas {
+			parts[j], err = loadIndex(filepath.Join(dir, fmt.Sprintf("features_%d_part%02d.pages", i, j)), meta, buffer, index.OpenFeatureIndex)
+			if err != nil {
+				return nil, err
+			}
+		}
+		g, err := index.NewFeatureGroup(parts...)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = g
+	}
+
+	coreOpts := opts.Core
+	coreOpts.Metrics = nil // the sharded engine observes the merged query
+	e := &Engine{
+		groups: groups,
+		total:  man.Total,
+		opts:   opts,
+		part: partitioning{
+			strategy: Strategy(man.Partition.Strategy),
+			cells:    man.Partition.Cells,
+			bounds:   man.Partition.Bounds,
+			mbr:      man.Partition.MBR,
+			gx:       man.Partition.Gx,
+			gy:       man.Partition.Gy,
+		},
+		trace: &atomic.Bool{},
+	}
+	e.trace.Store(coreOpts.Trace)
+	if opts.Metrics != nil {
+		e.fanout = opts.Metrics.Counter("stpq_shard_fanout_total")
+		e.pruned = opts.Metrics.Counter("stpq_shard_pruned_total")
+	}
+	for id, sm := range man.Shards {
+		oidx, err := loadIndex(filepath.Join(dir, fmt.Sprintf("objects_shard%02d.pages", id)), sm.Objects, buffer, index.OpenObjectIndex)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := core.NewEngineWithGroups(oidx, groups, coreOpts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Metrics != nil {
+			oidx.AttachMetrics(opts.Metrics, fmt.Sprintf("objects_shard%02d", id))
+		}
+		e.shards = append(e.shards, &subShard{id: id, cell: sm.Cell, eng: sub, rect: sm.Rect, count: sm.Count})
+	}
+	return e, nil
+}
+
+// dumpIndex writes one index's pages to a file.
+func dumpIndex(path string, dump func(w io.Writer) (index.Meta, error)) (index.Meta, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return index.Meta{}, fmt.Errorf("shard: save %s: %w", path, err)
+	}
+	meta, err := dump(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return index.Meta{}, fmt.Errorf("shard: save %s: %w", path, err)
+	}
+	return meta, nil
+}
+
+// loadIndex reads one index dump back.
+func loadIndex[T any](path string, meta index.Meta, buffer int, open func(r io.Reader, meta index.Meta, buffer int) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, fmt.Errorf("shard: open %s: %w", path, err)
+	}
+	defer f.Close()
+	idx, err := open(f, meta, buffer)
+	if err != nil {
+		return zero, fmt.Errorf("shard: open %s: %w", path, err)
+	}
+	return idx, nil
+}

@@ -76,6 +76,7 @@ type Engine struct {
 	groups []*index.FeatureGroup
 	total  int
 	opts   Options
+	part   partitioning
 	trace  *atomic.Bool
 	// fanout and pruned count shards queried / skipped across all queries.
 	fanout *obs.Counter
@@ -142,7 +143,7 @@ func New(objects []index.Object, featureSets [][]index.Feature, opts Options) (*
 
 	coreOpts := opts.Core
 	coreOpts.Metrics = nil // the sharded engine observes the merged query
-	e := &Engine{groups: groups, total: len(objects), opts: opts, trace: &atomic.Bool{}}
+	e := &Engine{groups: groups, total: len(objects), opts: opts, part: part, trace: &atomic.Bool{}}
 	e.trace.Store(coreOpts.Trace)
 	if opts.Metrics != nil {
 		e.fanout = opts.Metrics.Counter("stpq_shard_fanout_total")

@@ -10,6 +10,8 @@ import (
 
 	"stpq/internal/core"
 	"stpq/internal/index"
+	"stpq/internal/ingest"
+	"stpq/internal/shard"
 )
 
 // dbManifest is the on-disk description of a saved DB.
@@ -20,13 +22,18 @@ type dbManifest struct {
 	SetNames []string     `json:"setNames"`
 	Objects  index.Meta   `json:"objects"`
 	Features []index.Meta `json:"features"`
+	// AppliedSeq is the WAL sequence number this snapshot is current
+	// through: replay after Open starts at AppliedSeq+1.
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
 }
 
 const manifestName = "stpq.json"
 
 // Save writes the built DB to a directory: one page dump per index plus a
-// JSON manifest. The directory is created if needed. Signature-mode DBs
-// (Config.SignatureBits > 0) cannot be saved yet.
+// JSON manifest. Sharded DBs persist their sub-engines and partitioning
+// alongside. The directory is created if needed. Signature-mode DBs
+// (Config.SignatureBits > 0) cannot be saved yet, and a DB with unmerged
+// live-ingest mutations must Flush or Checkpoint first.
 //
 // Together with Open, Save makes index construction a one-off cost: a
 // 100K-feature SRT-index reopens in milliseconds.
@@ -41,16 +48,20 @@ func (db *DB) Save(dir string) error {
 	}
 	eng, ok := db.engine.(*core.Engine)
 	if !ok {
-		return errors.New("stpq: sharded DBs cannot be saved; rebuild with ShardCount 0 first")
+		if _, overlay := db.engine.(*ingest.Overlay); overlay {
+			return errors.New("stpq: unmerged mutations pending; call Flush or Checkpoint instead of Save")
+		}
+		return db.saveShardedLocked(dir)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("stpq: save: %w", err)
 	}
 	man := dbManifest{
-		Version:  1,
-		Config:   db.cfg,
-		Vocab:    db.vocab.Words(),
-		SetNames: db.setNames,
+		Version:    1,
+		Config:     db.cfg,
+		Vocab:      db.vocab.Words(),
+		SetNames:   db.setNames,
+		AppliedSeq: db.walSeq,
 	}
 	var err error
 	man.Objects, err = saveIndex(filepath.Join(dir, "objects.pages"), eng.Objects().Save)
@@ -73,6 +84,79 @@ func (db *DB) Save(dir string) error {
 		return fmt.Errorf("stpq: save manifest: %w", err)
 	}
 	return nil
+}
+
+// saveShardedLocked persists a sharded DB: the top-level manifest carries
+// the config, vocabulary and set names as usual, and the shard package
+// writes the per-shard sub-indexes plus the partitioning metadata
+// alongside it. Callers hold db.mu.
+func (db *DB) saveShardedLocked(dir string) error {
+	eng, ok := db.engine.(*shard.Engine)
+	if !ok {
+		return fmt.Errorf("stpq: cannot save engine of type %T", db.engine)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("stpq: save: %w", err)
+	}
+	man := dbManifest{
+		Version:    1,
+		Config:     db.cfg,
+		Vocab:      db.vocab.Words(),
+		SetNames:   db.setNames,
+		AppliedSeq: db.walSeq,
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stpq: save manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		return fmt.Errorf("stpq: save manifest: %w", err)
+	}
+	return eng.Save(dir)
+}
+
+// openSharded restores a DB saved by saveShardedLocked.
+func openSharded(dir string, man dbManifest) (*DB, error) {
+	if man.Config.WALDir != "" {
+		return nil, errors.New("stpq: sharded DBs do not support a WAL")
+	}
+	db := New(man.Config)
+	for _, w := range man.Vocab {
+		db.vocab.Intern(w)
+	}
+	db.setNames = man.SetNames
+	for _, name := range man.SetNames {
+		db.sets[name] = nil // names registered; raw features not retained
+	}
+	eng, err := shard.Open(dir, shard.Options{
+		Shards:      man.Config.ShardCount,
+		Strategy:    shard.Strategy(man.Config.ShardStrategy),
+		Parallelism: man.Config.ShardParallelism,
+		Index: index.Options{
+			Kind:        index.Kind(man.Config.IndexKind),
+			VocabWidth:  db.vocab.Size(),
+			PageSize:    man.Config.PageSize,
+			BufferPages: man.Config.BufferPages,
+			PoolStripes: man.Config.PoolStripes,
+		},
+		Core:    man.Config.coreOptions(nil),
+		Metrics: db.metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if got := len(eng.FeatureGroups()); got != len(man.SetNames) {
+		return nil, fmt.Errorf("stpq: shard manifest has %d feature groups for %d set names", got, len(man.SetNames))
+	}
+	for i, name := range man.SetNames {
+		eng.FeatureGroups()[i].AttachMetrics(db.metrics, poolLabel(name))
+	}
+	db.engine = eng
+	db.built = true
+	db.gen = 1
+	db.walSeq = man.AppliedSeq
+	db.appliedSeq = man.AppliedSeq
+	return db, nil
 }
 
 // saveIndex dumps one index's pages to a file.
@@ -106,12 +190,12 @@ func Open(dir string) (*DB, error) {
 	if man.Version != 1 {
 		return nil, fmt.Errorf("stpq: unsupported manifest version %d", man.Version)
 	}
+	if man.Config.ShardCount > 1 {
+		return openSharded(dir, man)
+	}
 	if len(man.Features) != len(man.SetNames) {
 		return nil, fmt.Errorf("stpq: manifest has %d feature metas for %d set names",
 			len(man.Features), len(man.SetNames))
-	}
-	if man.Config.ShardCount > 1 {
-		return nil, fmt.Errorf("stpq: manifest requests %d shards, but saved DBs are single-engine", man.Config.ShardCount)
 	}
 	db := New(man.Config)
 	for _, w := range man.Vocab {
@@ -138,12 +222,21 @@ func Open(dir string) (*DB, error) {
 	for i, name := range man.SetNames {
 		fidxs[i].AttachMetrics(db.metrics, poolLabel(name))
 	}
-	db.engine, err = core.NewEngine(oidx, fidxs, man.Config.coreOptions(db.metrics))
+	eng, err := core.NewEngine(oidx, fidxs, man.Config.coreOptions(db.metrics))
 	if err != nil {
 		return nil, err
 	}
+	db.engine = eng
+	db.base = eng
 	db.built = true
 	db.gen = 1
+	db.walSeq = man.AppliedSeq
+	db.appliedSeq = man.AppliedSeq
+	if man.Config.WALDir != "" {
+		if _, err := db.AttachWAL(man.Config.WALDir); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
 }
 

@@ -2,7 +2,7 @@ package stpq
 
 import (
 	"math/rand"
-	"strings"
+	"reflect"
 	"testing"
 )
 
@@ -93,7 +93,7 @@ func TestShardedDBMatchesSingle(t *testing.T) {
 }
 
 // TestShardedDBSurface checks the non-query surface of a sharded DB:
-// snapshots, rebuild, metrics, save rejection and score oracle.
+// snapshots, rebuild, metrics, save/open round trip and score oracle.
 func TestShardedDBSurface(t *testing.T) {
 	objs, food, cafes, _ := shardTestData(8)
 	db := buildShardTestDB(t, Config{ShardCount: 4, PageSize: 1024}, objs, food, cafes)
@@ -124,8 +124,33 @@ func TestShardedDBSurface(t *testing.T) {
 	if m.Counters["stpq_shard_fanout_total"]+m.Counters["stpq_shard_pruned_total"] == 0 {
 		t.Fatal("shard scatter counters missing from DB metrics")
 	}
-	if err := db.Save(t.TempDir()); err == nil || !strings.Contains(err.Error(), "sharded") {
-		t.Fatalf("Save on sharded DB: %v, want sharded rejection", err)
+	// Save/open round trip: the reopened sharded DB must answer every
+	// query identically to the engine that saved it.
+	dir := t.TempDir()
+	if err := db.Save(dir); err != nil {
+		t.Fatalf("Save on sharded DB: %v", err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open on sharded save: %v", err)
+	}
+	for _, alg := range []Algorithm{STPS, STDS} {
+		for _, v := range []Variant{Range, Influence, NearestNeighbor} {
+			rq := q
+			rq.Algorithm = alg
+			rq.Variant = v
+			want, _, err := db.TopK(rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := db2.TopK(rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("alg %v variant %v: reopened sharded DB diverges:\n got %v\nwant %v", alg, v, got, want)
+			}
+		}
 	}
 	if err := db.Rebuild(); err != nil {
 		t.Fatal(err)

@@ -128,6 +128,8 @@ func (s *Snapshot) toCoreQuery(q Query) (core.Query, error) {
 // the previous snapshot; new snapshots observe an incremented Generation.
 // DBs loaded with Open do not retain the raw data and cannot be rebuilt.
 func (db *DB) Rebuild() error {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.built {
@@ -135,6 +137,12 @@ func (db *DB) Rebuild() error {
 	}
 	if len(db.objects) == 0 {
 		return fmt.Errorf("stpq: Rebuild requires the raw data, which DBs loaded with Open do not retain")
+	}
+	if db.delta != nil && !db.delta.Empty() {
+		// Fold pending live-ingest mutations into the raw data so the
+		// rebuild does not lose them; mergeLocked clones the vocabulary
+		// and runs buildLocked itself.
+		return db.mergeLocked(nil)
 	}
 	// Intern into a clone so queries on the previous snapshot keep a
 	// stable vocabulary; buildLocked swaps db.engine and bumps db.gen.

@@ -38,6 +38,7 @@ import (
 	"stpq/internal/core"
 	"stpq/internal/geo"
 	"stpq/internal/index"
+	"stpq/internal/ingest"
 	"stpq/internal/invindex"
 	"stpq/internal/kwset"
 	"stpq/internal/obs"
@@ -176,13 +177,29 @@ type Config struct {
 	// self-contained sub-engines and answers queries by parallel
 	// scatter-gather with per-shard bound pruning. Results are identical
 	// to the single-engine build. 0 or 1 keeps the single engine.
-	// Sharded DBs cannot be saved with Save yet.
 	ShardCount int
 	// ShardStrategy selects the partitioner when ShardCount > 1.
 	ShardStrategy ShardStrategy
 	// ShardParallelism bounds how many shards one query fans out to
 	// concurrently (default GOMAXPROCS).
 	ShardParallelism int
+	// WALDir, when non-empty, attaches a write-ahead log in that
+	// directory at Build/Open time, enabling the live write path (Apply,
+	// Flush, Checkpoint) with crash recovery: existing log records past
+	// the last checkpoint are replayed before the first query. Requires
+	// an unsharded, exact-keyword configuration.
+	WALDir string
+	// WALGroupCommit batches WAL fsyncs: an Apply is acknowledged when
+	// its record hits disk, but the sync may be shared with neighbours
+	// arriving within this window. 0 syncs every Apply individually.
+	WALGroupCommit time.Duration
+	// WALSegmentBytes caps WAL segment file size before rotation
+	// (default 4 MiB).
+	WALSegmentBytes int64
+	// AutoFlushOps bounds the in-memory delta: when this many mutations
+	// accumulate, Apply merges them into a new base generation. 0 means
+	// DefaultAutoFlushOps; negative disables auto-flush (Flush manually).
+	AutoFlushOps int
 }
 
 // Query is a top-k spatio-textual preference query.
@@ -268,6 +285,21 @@ type DB struct {
 	inverted map[string]*invindex.Index
 	built    bool
 	gen      uint64 // build generation: 1 after Build, +1 per Rebuild
+
+	// Live ingest state (see ingest.go). ingestMu serializes writers and
+	// orders WAL appends; it is acquired before db.mu and never held
+	// during queries, so fsyncs do not block readers.
+	ingestMu   sync.Mutex
+	wal        *ingest.WAL
+	delta      *ingest.Delta // nil when no unmerged mutations
+	base       *core.Engine  // the unsharded base engine, nil when sharded
+	objByID    map[int64]struct{}
+	walSeq     uint64 // last WAL seq applied in memory
+	appliedSeq uint64 // last WAL seq durable in a checkpoint manifest
+
+	ingestApplied  *obs.Counter
+	ingestReplayed *obs.Counter
+	ingestMerges   *obs.Counter
 }
 
 // New creates an empty DB.
@@ -316,12 +348,23 @@ func (db *DB) FeatureSetNames() []string {
 // initial data has been added and before the first query; to re-index
 // after adding more data, use Rebuild.
 func (db *DB) Build() error {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.built {
 		return errors.New("stpq: Build called twice")
 	}
-	return db.buildLocked()
+	if err := db.buildLocked(); err != nil {
+		return err
+	}
+	if db.cfg.WALDir != "" {
+		if _, err := db.attachWALLocked(db.cfg.WALDir); err != nil {
+			db.built = false
+			return err
+		}
+	}
+	return nil
 }
 
 // buildLocked validates the raw data, constructs the indexes and engine
@@ -387,6 +430,7 @@ func (db *DB) buildLocked() error {
 			return fmt.Errorf("stpq: building sharded engine: %w", err)
 		}
 		db.engine = eng
+		db.base = nil
 	} else {
 		oidx, err := index.BuildObjectIndex(objs, opts)
 		if err != nil {
@@ -405,6 +449,11 @@ func (db *DB) buildLocked() error {
 			return err
 		}
 		db.engine = eng
+		db.base = eng
+	}
+	db.objByID = make(map[int64]struct{}, len(db.objects))
+	for _, o := range db.objects {
+		db.objByID[o.ID] = struct{}{}
 	}
 	// Feature pool metrics attach to the groups, which both engine kinds
 	// expose (sharded groups add a _partNN suffix per cell).
