@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke check
+.PHONY: build test race vet lint cover bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage profile across every package, with a per-function summary. CI
+# uploads the profile as a build artifact; render it locally with
+# `go tool cover -html=cover.out`.
+COVER_OUT ?= cover.out
+cover:
+	$(GO) test -coverprofile=$(COVER_OUT) -covermode=atomic ./...
+	$(GO) tool cover -func=$(COVER_OUT) | tail -n 1
 
 # Static analysis and vulnerability scan. Each tool is optional locally —
 # install with `go install honnef.co/go/tools/cmd/staticcheck@latest` and
@@ -55,9 +63,11 @@ bench-compare:
 
 # The zero-alloc / allocation-budget regression tests: kwset.Jaccard and
 # the buffer-pool hit path must stay allocation-free, steady-state top-k
-# queries must stay under their documented budgets (internal/core).
+# queries must stay under their documented budgets (internal/core), and the
+# unsampled event-log record path must stay within one allocation per query
+# (internal/obs).
 alloc-regression:
-	$(GO) test -run 'TestAllocs' -v ./internal/kwset/ ./internal/storage/ ./internal/core/
+	$(GO) test -run 'TestAllocs' -v ./internal/kwset/ ./internal/storage/ ./internal/core/ ./internal/obs/
 
 # End-to-end daemon smoke test: start stpqd on a small synthetic dataset,
 # wait for /healthz, fire a short stpqload run, then shut down gracefully.

@@ -16,6 +16,7 @@ import (
 	"stpq/internal/core"
 	"stpq/internal/datagen"
 	"stpq/internal/index"
+	"stpq/internal/obs"
 )
 
 // benchScale shrinks the paper's 100K default to keep bench runs short.
@@ -86,7 +87,12 @@ func benchEngine(b *testing.B, key fixtureKey) *core.Engine {
 			b.Fatal(err)
 		}
 	}
-	e, err := core.NewEngine(oidx, fidxs, core.Options{BatchSTDS: true})
+	// Telemetry at the default (unsampled) rate so the benchmarks measure
+	// the event-log hot path every production query pays.
+	e, err := core.NewEngine(oidx, fidxs, core.Options{
+		BatchSTDS: true,
+		Telemetry: obs.NewTelemetry(0, 0, 0, 0),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -67,6 +67,8 @@ func main() {
 		stripes   = flag.Int("pool-stripes", 0, "buffer-pool lock stripes, rounded down to a power of two (0 or 1 = classic single-lock LRU)")
 		walDir    = flag.String("wal-dir", "", "write-ahead log directory: enables POST /ingest and replays existing records on startup")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); enables low-rate mutex and block profiling")
+		traceRate = flag.Float64("trace-sample", 0, "fraction of queries (0..1) served with a full span tree in their event record")
+		slowQuery = flag.Duration("slow-query", 0, "queries at least this slow land in /debug/slow with a complete trace (0 = off)")
 	)
 	flag.Parse()
 	cfg := daemonConfig{
@@ -74,11 +76,13 @@ func main() {
 		objects: *objects, features: *features, sets: *sets, vocab: *vocab,
 		seed: *seed, indexKind: *indexKind, shards: *shards, strategy: *strategy,
 		stripes: *stripes, pprofAddr: *pprofAddr, walDir: *walDir,
+		traceRate: *traceRate, slowQuery: *slowQuery,
 		serve: serve.Config{
 			Workers:      *workers,
 			QueueDepth:   *queue,
 			Timeout:      *timeout,
 			CacheEntries: *cacheSize,
+			TraceSample:  *traceRate,
 		},
 	}
 	if err := run(cfg); err != nil {
@@ -98,6 +102,8 @@ type daemonConfig struct {
 	stripes             int
 	pprofAddr           string
 	walDir              string
+	traceRate           float64
+	slowQuery           time.Duration
 	serve               serve.Config
 }
 
@@ -255,6 +261,7 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 		db := stpq.New(stpq.Config{
 			IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat,
 			PoolStripes: cfg.stripes, WALDir: cfg.walDir,
+			TraceSampleRate: cfg.traceRate, SlowQueryThreshold: cfg.slowQuery,
 		})
 		ds := datagen.Synthetic(datagen.SyntheticConfig{
 			Objects: cfg.objects, FeaturesPerSet: cfg.features, FeatureSets: cfg.sets,

@@ -91,6 +91,10 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 	}
 	log.Printf("target %s: %d objects, %d feature sets, generation %d",
 		addr, info.Objects, len(info.FeatureSets), info.Generation)
+	log.Printf("server %s (%s), up %s, %d shard(s)",
+		info.Revision, info.GoVersion,
+		(time.Duration(info.UptimeSeconds*float64(time.Second))).Round(time.Second),
+		max(info.Shards, 1))
 
 	var (
 		wg      sync.WaitGroup

@@ -1,0 +1,171 @@
+package stpq
+
+// explain.go is the EXPLAIN surface: DB.Explain describes how a query
+// would execute — algorithm, index, shard scatter order with per-shard
+// upper bounds — and predicts its cost from the recorded per-shape
+// statistics (DB.QueryShapes), without running the query. Exposed as
+// `stpq -explain` on the CLI and `"explain": true` on the HTTP query
+// endpoint.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"stpq/internal/core"
+	"stpq/internal/obs"
+	"stpq/internal/shard"
+)
+
+// ExplainShard is one shard's entry in a sharded query plan, in scatter
+// order: the wave it runs in at the current parallelism and the upper
+// bound its region admits for the query (the pruning key — the gather
+// stops once the merged k-th score beats every remaining bound).
+type ExplainShard struct {
+	ID      int     `json:"id"`
+	Wave    int     `json:"wave"`
+	Bound   float64 `json:"bound"`
+	Objects int     `json:"objects"`
+}
+
+// Explain describes how a query would execute and what it is expected to
+// cost. Predicted is nil until the query's shape has been executed at
+// least MinPredictSamples times.
+type Explain struct {
+	// Algorithm is "stds" or "stps"; Variant the score variant name.
+	Algorithm string `json:"algorithm"`
+	Variant   string `json:"variant"`
+	// Index names the feature index structure ("srt" or "ir2").
+	Index      string  `json:"index"`
+	Similarity string  `json:"similarity"`
+	K          int     `json:"k"`
+	Radius     float64 `json:"radius,omitempty"`
+	// KeywordSets counts the non-empty query keyword sets out of the DB's
+	// feature sets.
+	KeywordSets int `json:"keyword_sets"`
+	FeatureSets int `json:"feature_sets"`
+	// Shape is the canonical shape label the prediction is keyed by.
+	Shape string `json:"shape"`
+	// Shards is the scatter plan of a sharded DB (nil when unsharded),
+	// and Parallelism its wave width.
+	Shards      []ExplainShard `json:"shards,omitempty"`
+	Parallelism int            `json:"parallelism,omitempty"`
+	// Predicted is the recorded mean cost of the shape, nil while fewer
+	// than MinPredictSamples executions have been recorded; Samples is the
+	// number of recorded executions either way.
+	Predicted *ShapeStat `json:"predicted,omitempty"`
+	Samples   int64      `json:"samples"`
+}
+
+// MinPredictSamples is how many recorded executions a query shape needs
+// before Explain reports predicted costs.
+const MinPredictSamples = obs.MinPredictSamples
+
+// Explain describes how the query would execute against the current
+// indexes without running it: the chosen algorithm and index, the shard
+// scatter order with per-shard upper bounds (sharded DBs), and the
+// predicted cost from recorded per-shape statistics once the shape has
+// enough samples.
+func (db *DB) Explain(q Query) (*Explain, error) {
+	snap, err := db.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := snap.Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshots do not retain the config; name the index here.
+	db.mu.RLock()
+	if db.cfg.IndexKind == IR2 {
+		ex.Index = "ir2"
+	} else {
+		ex.Index = "srt"
+	}
+	db.mu.RUnlock()
+	return ex, nil
+}
+
+// Explain is DB.Explain against a pinned snapshot.
+func (s *Snapshot) Explain(q Query) (*Explain, error) {
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	alg := "stps"
+	if q.Algorithm == STDS {
+		alg = "stds"
+	}
+	key := core.QueryShapeKey(alg, &cq)
+	ex := &Explain{
+		Algorithm:   alg,
+		Variant:     cq.Variant.String(),
+		Similarity:  cq.Similarity.String(),
+		K:           q.K,
+		Radius:      q.Radius,
+		KeywordSets: key.Sets,
+		FeatureSets: len(s.names),
+	}
+	if s.tel != nil {
+		ex.Shape = s.tel.Shapes.Name(key)
+		if p := s.tel.Shapes.Predict(key); p != nil {
+			stat := fromObsPrediction(*p)
+			ex.Predicted = &stat
+			ex.Samples = p.Samples
+		} else {
+			// Below the sample floor: still report how many we have.
+			for _, row := range s.tel.Shapes.Rows() {
+				if row.Shape == ex.Shape {
+					ex.Samples = row.Samples
+					break
+				}
+			}
+		}
+	} else {
+		ex.Shape = key.String()
+	}
+	if eng, ok := s.engine.(*shard.Engine); ok {
+		plan, err := eng.Plan(cq)
+		if err != nil {
+			return nil, err
+		}
+		ex.Parallelism = eng.Parallelism()
+		ex.Shards = make([]ExplainShard, len(plan))
+		for i, p := range plan {
+			ex.Shards[i] = ExplainShard{ID: p.ID, Wave: p.Wave, Bound: p.Bound, Objects: p.Objects}
+		}
+	}
+	return ex, nil
+}
+
+// String renders the plan as the `stpq -explain` text output.
+func (e *Explain) String() string {
+	var b strings.Builder
+	if e.Index != "" {
+		fmt.Fprintf(&b, "EXPLAIN %s %s (%s index, %s similarity)\n", e.Algorithm, e.Variant, e.Index, e.Similarity)
+	} else {
+		fmt.Fprintf(&b, "EXPLAIN %s %s (%s similarity)\n", e.Algorithm, e.Variant, e.Similarity)
+	}
+	fmt.Fprintf(&b, "  k=%d", e.K)
+	if e.Radius > 0 {
+		fmt.Fprintf(&b, " radius=%g", e.Radius)
+	}
+	fmt.Fprintf(&b, " keyword sets: %d/%d non-empty\n", e.KeywordSets, e.FeatureSets)
+	fmt.Fprintf(&b, "  shape: %s\n", e.Shape)
+	if len(e.Shards) > 0 {
+		fmt.Fprintf(&b, "  plan: scatter-gather over %d shards, parallelism %d\n", len(e.Shards), e.Parallelism)
+		for _, sh := range e.Shards {
+			fmt.Fprintf(&b, "    wave %d: shard %02d  bound=%.4f  objects=%d\n", sh.Wave, sh.ID, sh.Bound, sh.Objects)
+		}
+	} else {
+		fmt.Fprintf(&b, "  plan: single engine\n")
+	}
+	if p := e.Predicted; p != nil {
+		fmt.Fprintf(&b, "  predicted (from %d samples): %s CPU + %s IO, %.0f logical / %.0f physical reads, %.0f combinations\n",
+			p.Samples, p.MeanDuration.Round(time.Microsecond), p.MeanIOTime.Round(time.Microsecond),
+			p.MeanLogicalReads, p.MeanPhysicalReads, p.MeanCombinations)
+	} else {
+		fmt.Fprintf(&b, "  predicted: insufficient samples (%d recorded, need %d)\n", e.Samples, MinPredictSamples)
+	}
+	return b.String()
+}

@@ -222,10 +222,16 @@ func (db *DB) attachWALLocked(dir string) (int, error) {
 	db.ingestReplayed = db.metrics.Counter("stpq_ingest_replayed_total")
 	db.ingestMerges = db.metrics.Counter("stpq_ingest_merges_total")
 	fsync := db.metrics.Histogram("stpq_ingest_wal_fsync_seconds", obs.LatencyBuckets)
+	appends := db.metrics.Counter("stpq_wal_appends_total")
+	walBytes := db.metrics.Counter("stpq_wal_bytes_total")
 	w, err := ingest.OpenWAL(dir, ingest.WALOptions{
 		SegmentBytes:  db.cfg.WALSegmentBytes,
 		GroupCommit:   db.cfg.WALGroupCommit,
 		FsyncObserver: fsync.Observe,
+		AppendObserver: func(n int) {
+			appends.Inc()
+			walBytes.Add(int64(n))
+		},
 	})
 	if err != nil {
 		return 0, fmt.Errorf("stpq: opening WAL: %w", err)
@@ -465,7 +471,7 @@ func (db *DB) publishOverlayLocked() error {
 		}
 		groups[i] = g
 	}
-	eng, err := core.NewEngineWithGroups(objView, groups, db.cfg.coreOptions(db.metrics))
+	eng, err := core.NewEngineWithGroups(objView, groups, db.cfg.coreOptions(db.metrics, db.tel))
 	if err != nil {
 		return err
 	}
@@ -475,7 +481,10 @@ func (db *DB) publishOverlayLocked() error {
 			live--
 		}
 	}
-	db.engine = ingest.NewOverlay(eng, d.Objects, live)
+	overlay := ingest.NewOverlay(eng, d.Objects, live)
+	db.engine = overlay
+	db.metrics.Gauge("stpq_ingest_delta_objects").Set(float64(overlay.DeltaObjects()))
+	db.metrics.Gauge("stpq_ingest_delta_ops").Set(float64(d.Ops()))
 	db.gen++
 	db.inverted = nil
 	return nil
@@ -546,6 +555,8 @@ func (db *DB) mergeLocked(extra []Mutation) error {
 	if db.ingestMerges != nil {
 		db.ingestMerges.Inc()
 	}
+	db.metrics.Gauge("stpq_ingest_delta_objects").Set(0)
+	db.metrics.Gauge("stpq_ingest_delta_ops").Set(0)
 	return nil
 }
 

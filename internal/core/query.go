@@ -49,6 +49,20 @@ func (v Variant) String() string {
 	}
 }
 
+// TraceMode is a query's explicit tracing decision, overriding the engine
+// toggle and the telemetry sampler.
+type TraceMode int
+
+const (
+	// TraceDefault defers to the engine toggle (Options.Trace / SetTrace)
+	// and, failing that, the telemetry sampling policy.
+	TraceDefault TraceMode = iota
+	// TraceOn forces span collection for this query.
+	TraceOn
+	// TraceOff suppresses span collection for this query.
+	TraceOff
+)
+
 // Query is a top-k spatio-textual preference query Q = (k, r, λ, W_1..W_c)
 // (paper Problem 1).
 type Query struct {
@@ -67,6 +81,11 @@ type Query struct {
 	// Similarity selects the textual similarity measure of Definition 1
 	// (zero value = Jaccard, the paper's choice).
 	Similarity index.Similarity
+	// RequestID is the request-scoped identity the query runs under; it is
+	// stamped onto the span tree and the event record, never onto results.
+	RequestID string
+	// Trace is the query's explicit tracing decision.
+	Trace TraceMode
 }
 
 // Validate checks query parameters against the engine shape.
@@ -125,6 +144,10 @@ type Stats struct {
 	// ObjectsScored counts data objects whose score was computed (STDS)
 	// or retrieved (STPS).
 	ObjectsScored int
+	// ShardFanout and ShardPruned count shards queried / skipped by a
+	// sharded engine's scatter-gather; zero on unsharded engines.
+	ShardFanout int
+	ShardPruned int
 	// Trace is the query's span tree when tracing is enabled
 	// (Options.Trace), nil otherwise. The root span covers the whole
 	// query; its page-read deltas equal LogicalReads/PhysicalReads.
@@ -145,6 +168,8 @@ func (s *Stats) Add(other Stats) {
 	s.Combinations += other.Combinations
 	s.FeaturesPulled += other.FeaturesPulled
 	s.ObjectsScored += other.ObjectsScored
+	s.ShardFanout += other.ShardFanout
+	s.ShardPruned += other.ShardPruned
 }
 
 // Scale divides all counters by n, yielding per-query averages.
@@ -163,6 +188,8 @@ func (s Stats) Scale(n int) Stats {
 		Combinations:   s.Combinations / n,
 		FeaturesPulled: s.FeaturesPulled / n,
 		ObjectsScored:  s.ObjectsScored / n,
+		ShardFanout:    s.ShardFanout / n,
+		ShardPruned:    s.ShardPruned / n,
 	}
 }
 
@@ -248,6 +275,10 @@ type Options struct {
 	// and page-read histograms, per-algorithm counters) suitable for
 	// scraping.
 	Metrics *obs.Registry
+	// Telemetry, when non-nil, receives one structured event record per
+	// finished query (the event log, slow-query log and per-shape
+	// statistics) and supplies the trace sampling policy.
+	Telemetry *obs.Telemetry
 }
 
 // withDefaults fills unset options.
@@ -447,18 +478,50 @@ func (e *Engine) finishStats(st *Stats, before storage.Stats, start time.Time) {
 // that already started keep their tracing decision.
 func (e *Engine) SetTrace(on bool) { e.trace.Store(on) }
 
+// TraceDecision resolves whether a query collects a span tree and whether
+// that tree is kept (returned in Stats and stored on the event record) or
+// collected only provisionally for slow-query capture. Precedence: the
+// query's explicit mode, then the engine toggle, then the telemetry
+// sampler; a configured slow-query threshold forces collection of every
+// remaining query so slow ones have complete traces (keep stays false —
+// the trace survives only if the query actually turns out slow).
+func TraceDecision(mode TraceMode, engineOn bool, tel *obs.Telemetry) (collect, keep bool) {
+	switch mode {
+	case TraceOn:
+		return true, true
+	case TraceOff:
+		return false, false
+	}
+	if engineOn {
+		return true, true
+	}
+	if tel.Sample() {
+		return true, true
+	}
+	if tel != nil && tel.SlowThreshold > 0 {
+		return true, false
+	}
+	return false, false
+}
+
 // newTrace opens a span trace for one query, or returns the nil (no-op)
 // tracer when tracing is off. The read source diffs the session's private
 // read accumulator, so span deltas line up exactly with Stats even under
 // concurrent queries.
-func (e *Engine) newTrace(name string) *obs.Trace {
-	if !e.trace.Load() {
+func (e *Engine) newTrace(name string, q *Query) *obs.Trace {
+	collect, keep := TraceDecision(q.Trace, e.trace.Load(), e.opts.Telemetry)
+	if !collect {
 		return nil
 	}
-	return obs.NewTrace(name, func() (int64, int64) {
+	tr := obs.NewTrace(name, func() (int64, int64) {
 		s := e.snapshotReads()
 		return s.LogicalReads, s.PhysicalReads
 	})
+	tr.SetRequestID(q.RequestID)
+	if keep {
+		tr.MarkKeep()
+	}
+	return tr
 }
 
 // finishTrace closes the trace, annotates the root span with the query's
@@ -476,9 +539,14 @@ func finishTrace(tr *obs.Trace, stats *Stats) {
 	stats.Trace = root
 }
 
-// observeQuery feeds one finished query into the metrics registry.
-func (e *Engine) observeQuery(alg string, q *Query, st *Stats) {
-	ObserveQuery(e.opts.Metrics, alg, q, st)
+// observeQuery feeds one finished query into the metrics registry (success
+// only — a failed query must not skew latency histograms) and the event
+// log (always — failures are exactly what the log must surface).
+func (e *Engine) observeQuery(alg string, q *Query, st *Stats, start time.Time, err error) {
+	if err == nil {
+		ObserveQuery(e.opts.Metrics, alg, q, st)
+	}
+	RecordQueryEvent(e.opts.Telemetry, alg, q, st, start, err)
 }
 
 // ObserveQuery feeds one finished query into a metrics registry. It is
@@ -496,6 +564,80 @@ func ObserveQuery(r *obs.Registry, alg string, q *Query, st *Stats) {
 	r.Counter("stpq_combinations_total" + label).Add(int64(st.Combinations))
 	r.Counter("stpq_features_pulled_total" + label).Add(int64(st.FeaturesPulled))
 	r.Counter("stpq_objects_scored_total" + label).Add(int64(st.ObjectsScored))
+}
+
+// QueryShapeKey builds the canonical shape key of a query — the join key
+// into the per-shape statistics table (obs.ShapeStats).
+func QueryShapeKey(alg string, q *Query) obs.ShapeKey {
+	sets := 0
+	for _, s := range q.Keywords {
+		if !s.IsEmpty() {
+			sets++
+		}
+	}
+	return obs.ShapeKey{
+		Alg:     alg,
+		Variant: q.Variant.String(),
+		Sim:     q.Similarity.String(),
+		K:       q.K,
+		RBucket: obs.RadiusBucket(q.Radius),
+		Sets:    sets,
+	}
+}
+
+// RecordQueryEvent files one finished query into the telemetry bundle. It
+// is exported for engine wrappers (the sharded engine) that must record
+// the merged query exactly once instead of once per sub-engine. The
+// success path is allocation-free once the query's shape has been seen.
+func RecordQueryEvent(tel *obs.Telemetry, alg string, q *Query, st *Stats, start time.Time, err error) {
+	if tel == nil {
+		return
+	}
+	ev := obs.QueryEvent{
+		Start:          start,
+		RequestID:      q.RequestID,
+		Algorithm:      alg,
+		Variant:        q.Variant.String(),
+		K:              q.K,
+		Radius:         q.Radius,
+		Duration:       st.CPUTime,
+		IOTime:         st.IOTime,
+		LogicalReads:   st.LogicalReads,
+		PhysicalReads:  st.PhysicalReads,
+		Combinations:   st.Combinations,
+		FeaturesPulled: st.FeaturesPulled,
+		ObjectsScored:  st.ObjectsScored,
+		ShardFanout:    st.ShardFanout,
+		ShardPruned:    st.ShardPruned,
+		Outcome:        "ok",
+		Trace:          st.Trace,
+	}
+	if err != nil {
+		ev.Outcome = "error"
+		ev.Error = err.Error()
+	}
+	tel.Record(ev, QueryShapeKey(alg, q), err == nil)
+}
+
+// RecordCacheHit files an event for a query answered from a serving-layer
+// result cache: attributable like any other query, but not counted into
+// the shape statistics (no engine execution happened).
+func RecordCacheHit(tel *obs.Telemetry, alg string, q *Query, start time.Time, elapsed time.Duration) {
+	if tel == nil {
+		return
+	}
+	ev := obs.QueryEvent{
+		Start:     start,
+		RequestID: q.RequestID,
+		Algorithm: alg,
+		Variant:   q.Variant.String(),
+		K:         q.K,
+		Radius:    q.Radius,
+		Duration:  elapsed,
+		CacheHit:  true,
+		Outcome:   "ok",
+	}
+	tel.Record(ev, QueryShapeKey(alg, q), false)
 }
 
 // UpperBound returns a sound upper bound on τ(p) for every location p

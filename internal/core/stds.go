@@ -27,7 +27,7 @@ func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
 	defer root.releaseSession(e)
 	var stats Stats
 	before := e.snapshotReads()
-	tr := e.newTrace("stds." + q.Variant.String())
+	tr := e.newTrace("stds."+q.Variant.String(), &q)
 	start := time.Now()
 	var (
 		results []Result
@@ -40,10 +40,10 @@ func (e *Engine) STDS(q Query) ([]Result, Stats, error) {
 	}
 	finishTrace(tr, &stats)
 	e.finishStats(&stats, before, start)
+	e.observeQuery("stds", &q, &stats, start, err)
 	if err != nil {
 		return nil, stats, err
 	}
-	e.observeQuery("stds", &q, &stats)
 	sortResults(results)
 	return results, stats, nil
 }

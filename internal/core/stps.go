@@ -24,7 +24,7 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	defer root.releaseSession(e)
 	var stats Stats
 	before := e.snapshotReads()
-	tr := e.newTrace("stps." + q.Variant.String())
+	tr := e.newTrace("stps."+q.Variant.String(), &q)
 	start := time.Now()
 	var (
 		results []Result
@@ -40,10 +40,10 @@ func (e *Engine) STPS(q Query) ([]Result, Stats, error) {
 	}
 	finishTrace(tr, &stats)
 	e.finishStats(&stats, before, start)
+	e.observeQuery("stps", &q, &stats, start, err)
 	if err != nil {
 		return nil, stats, err
 	}
-	e.observeQuery("stps", &q, &stats)
 	sortResults(results)
 	return results, stats, nil
 }

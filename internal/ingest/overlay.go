@@ -98,6 +98,11 @@ func (o *Overlay) FeatureGroups() []*index.FeatureGroup { return o.eng.FeatureGr
 // NumObjects returns the live object count of the merged view.
 func (o *Overlay) NumObjects() int { return o.n }
 
+// DeltaObjects returns the number of objects living only in the delta —
+// the size of the unmerged overlay, exposed as a gauge by the ingest
+// pipeline.
+func (o *Overlay) DeltaObjects() int { return len(o.delta) }
+
 // SetTrace toggles query tracing on the wrapped engine.
 func (o *Overlay) SetTrace(on bool) { o.eng.SetTrace(on) }
 

@@ -65,6 +65,10 @@ type WALOptions struct {
 	// FsyncObserver, when set, receives the latency of every fsync in
 	// seconds (wired to the stpq_ingest_wal_fsync_seconds histogram).
 	FsyncObserver func(seconds float64)
+	// AppendObserver, when set, receives the on-disk size (header included)
+	// of every successfully written record (wired to the
+	// stpq_wal_appends_total / stpq_wal_bytes_total counters).
+	AppendObserver func(bytes int)
 }
 
 // WAL is an append-only, checksummed, segmented log. Append is safe for
@@ -228,6 +232,9 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	}
 	w.next++
 	w.size += int64(len(rec))
+	if w.opts.AppendObserver != nil {
+		w.opts.AppendObserver(len(rec))
+	}
 	if w.opts.GroupCommit <= 0 {
 		err := w.syncLocked()
 		w.mu.Unlock()

@@ -54,6 +54,26 @@ func (t *Trace) Root() *Span {
 	return t.root
 }
 
+// SetRequestID stamps the root span with the request ID the query ran
+// under, so a span tree fished out of the event log is attributable to one
+// request. Nil-safe.
+func (t *Trace) SetRequestID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.root.RequestID = id
+}
+
+// MarkKeep flags the root span as explicitly requested (engine toggle,
+// per-query TraceOn, or a sampling hit) rather than merely collected in
+// case the query turns out slow. Nil-safe.
+func (t *Trace) MarkKeep() {
+	if t == nil {
+		return
+	}
+	t.root.keep = true
+}
+
 // StartPhase opens (or re-enters) the child span with the given name under
 // the currently open span, accumulating duration, entry count and read
 // deltas across re-entries. This keeps the span tree bounded even when
@@ -113,11 +133,29 @@ type Span struct {
 	PhysicalReads int64            `json:"physical_reads"`
 	Counters      map[string]int64 `json:"counters,omitempty"`
 	Children      []*Span          `json:"children,omitempty"`
+	// RequestID is set on root spans of queries that ran under a
+	// request-scoped context (Trace.SetRequestID).
+	RequestID string `json:"request_id,omitempty"`
 
 	t                  *Trace
 	running            bool
+	keep               bool
 	start              time.Time
 	startLog, startPhy int64
+}
+
+// Kept reports whether the trace was explicitly requested (engine toggle,
+// per-query opt-in, or a sampling hit). Traces collected only so a
+// slow-query capture would be complete report false and are dropped from
+// event records unless the query actually crossed the slow threshold.
+func (s *Span) Kept() bool { return s != nil && s.keep }
+
+// MarkKeep flags the span as explicitly requested. Engine wrappers that
+// assemble root spans by hand (the sharded engine) use it directly.
+func (s *Span) MarkKeep() {
+	if s != nil {
+		s.keep = true
+	}
 }
 
 // resume (re)enters the span.
@@ -202,8 +240,12 @@ func (s *Span) String() string {
 	}
 	var b strings.Builder
 	s.Walk(func(_ string, depth int, sp *Span) {
+		width := 28 - 2*depth
+		if width < 1 {
+			width = 1 // deep STPS traces must stay renderable, not aligned
+		}
 		fmt.Fprintf(&b, "%s%-*s ×%-5d %9s  %d/%d reads",
-			strings.Repeat("  ", depth), 28-2*depth, sp.Name, sp.Count,
+			strings.Repeat("  ", depth), width, sp.Name, sp.Count,
 			sp.Duration.Round(time.Microsecond), sp.LogicalReads, sp.PhysicalReads)
 		if len(sp.Counters) > 0 {
 			keys := make([]string, 0, len(sp.Counters))

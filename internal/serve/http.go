@@ -8,7 +8,10 @@ package serve
 //	GET  /readyz   alias of /healthz (cmd/stpqd answers both with 503
 //	               itself while the index is still building)
 //	GET  /metrics  Prometheus text format: DB registry, then serve registry
-//	GET  /info     dataset shape, for load generators (cmd/stpqload)
+//	GET  /info     dataset shape + build/uptime, for load generators
+//	GET  /debug/queries  recent query event log (?n= limits; newest first)
+//	GET  /debug/slow     slow-query log with complete span trees
+//	GET  /debug/shapes   per-shape cost statistics backing EXPLAIN
 //
 // Error mapping: invalid query → 400, queue full → 429, deadline → 504,
 // shutting down → 503.
@@ -18,6 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
 	"time"
 
 	"stpq"
@@ -34,6 +41,12 @@ type QueryRequest struct {
 	Variant    string              `json:"variant,omitempty"`    // range | influence | nn
 	Algorithm  string              `json:"algorithm,omitempty"`  // stps | stds
 	Similarity string              `json:"similarity,omitempty"` // jaccard | dice | cosine | overlap
+	// Trace forces full span collection for this query (bypassing the
+	// result cache); the span tree comes back in stats.trace.
+	Trace bool `json:"trace,omitempty"`
+	// Explain skips execution and returns the query plan with predicted
+	// costs instead of results.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Query lowers the request into a library query, rejecting unknown
@@ -70,6 +83,9 @@ func (r QueryRequest) Query() (stpq.Query, error) {
 	default:
 		return q, fmt.Errorf("%w: unknown similarity %q", stpq.ErrInvalidQuery, r.Similarity)
 	}
+	if r.Trace {
+		q.Trace = stpq.TraceOn
+	}
 	return q, nil
 }
 
@@ -91,6 +107,8 @@ type StatsJSON struct {
 	Combinations   int        `json:"combinations,omitempty"`
 	FeaturesPulled int        `json:"features_pulled,omitempty"`
 	ObjectsScored  int        `json:"objects_scored,omitempty"`
+	ShardFanout    int        `json:"shard_fanout,omitempty"`
+	ShardPruned    int        `json:"shard_pruned,omitempty"`
 	Trace          *stpq.Span `json:"trace,omitempty"`
 }
 
@@ -101,6 +119,9 @@ type QueryResponse struct {
 	Cached     bool         `json:"cached"`
 	Generation uint64       `json:"generation"`
 	ElapsedUS  int64        `json:"elapsed_us"`
+	// RequestID echoes the X-Request-Id header (or the generated one); the
+	// same ID keys the query's record in /debug/queries.
+	RequestID string `json:"request_id"`
 }
 
 type errorResponse struct {
@@ -116,6 +137,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/slow", s.handleDebugSlow)
+	mux.HandleFunc("/debug/shapes", s.handleDebugShapes)
 	return mux
 }
 
@@ -136,6 +160,26 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusOf(err), err.Error())
 		return
 	}
+	// Honor an inbound request ID (proxies, retries), generate one
+	// otherwise, and echo it so the caller can join the response to
+	// /debug/queries and the span tree.
+	q.RequestID = r.Header.Get("X-Request-Id")
+	if q.RequestID == "" {
+		q.RequestID = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", q.RequestID)
+	if req.Explain {
+		ex, err := s.db.Explain(q)
+		if err != nil {
+			httpError(w, statusOf(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			RequestID string        `json:"request_id"`
+			Explain   *stpq.Explain `json:"explain"`
+		}{q.RequestID, ex})
+		return
+	}
 	start := time.Now()
 	resp, err := s.Do(r.Context(), q)
 	if err != nil {
@@ -143,6 +187,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := QueryResponse{
+		RequestID:  resp.RequestID,
 		Results:    make([]ResultJSON, len(resp.Results)),
 		Cached:     resp.Cached,
 		Generation: resp.Generation,
@@ -156,6 +201,8 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Combinations:   resp.Stats.Combinations,
 			FeaturesPulled: resp.Stats.FeaturesPulled,
 			ObjectsScored:  resp.Stats.ObjectsScored,
+			ShardFanout:    resp.Stats.ShardFanout,
+			ShardPruned:    resp.Stats.ShardPruned,
 			Trace:          resp.Stats.Trace,
 		},
 	}
@@ -199,16 +246,50 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // Info is the JSON body of GET /info: enough dataset shape for a load
-// generator to synthesize plausible queries.
+// generator to synthesize plausible queries, plus build and uptime
+// identity for operators.
 type Info struct {
 	Objects     int                 `json:"objects"`
 	FeatureSets map[string]int      `json:"feature_sets"`
 	Keywords    map[string][]string `json:"keywords"`
 	Generation  uint64              `json:"generation"`
+	// Revision is the VCS revision the binary was built from ("-dirty"
+	// suffix for modified trees, "unknown" without build info).
+	Revision      string  `json:"revision"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
 }
 
 // infoKeywords caps the per-set keyword sample in /info.
 const infoKeywords = 100
+
+// buildRevision resolves the binary's VCS revision once.
+var buildRevision = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+})
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.db.Snapshot()
@@ -217,10 +298,14 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := Info{
-		Objects:     snap.NumObjects(),
-		FeatureSets: snap.NumFeatures(),
-		Keywords:    make(map[string][]string, len(snap.FeatureSetNames())),
-		Generation:  snap.Generation(),
+		Objects:       snap.NumObjects(),
+		FeatureSets:   snap.NumFeatures(),
+		Keywords:      make(map[string][]string, len(snap.FeatureSetNames())),
+		Generation:    snap.Generation(),
+		Revision:      buildRevision(),
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: s.Uptime().Seconds(),
+		Shards:        snap.NumShards(),
 	}
 	for _, name := range snap.FeatureSetNames() {
 		stats, err := s.db.KeywordStats(name)
@@ -239,6 +324,37 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 		info.Keywords[name] = kws
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// debugN parses the ?n= limit of the /debug endpoints (0 = all held).
+func debugN(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// handleDebugQueries serves the recent-query event log, newest first.
+func (s *Service) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Queries []stpq.QueryEvent `json:"queries"`
+	}{s.db.RecentQueries(debugN(r))})
+}
+
+// handleDebugSlow serves the slow-query log: every entry carries a
+// complete span tree.
+func (s *Service) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Queries []stpq.QueryEvent `json:"queries"`
+	}{s.db.SlowQueries(debugN(r))})
+}
+
+// handleDebugShapes serves the per-shape cost statistics backing EXPLAIN.
+func (s *Service) handleDebugShapes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Shapes []stpq.ShapeStat `json:"shapes"`
+	}{s.db.QueryShapes()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,6 +12,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
@@ -48,6 +50,11 @@ type Config struct {
 	// CacheEntries is the result-cache capacity; 0 means the default
 	// (256), negative disables caching.
 	CacheEntries int
+	// TraceSample is the probability (0..1) that a query without an
+	// explicit tracing decision is served with TraceOn, collecting a full
+	// span tree into its response and event record. Sampled queries bypass
+	// the result cache so the trace reflects a real execution.
+	TraceSample float64
 }
 
 func (c Config) withDefaults() Config {
@@ -72,14 +79,19 @@ type Response struct {
 	Cached bool
 	// Generation is the index build generation the results belong to.
 	Generation uint64
+	// RequestID is the request-scoped identity the query ran under: the
+	// caller's Query.RequestID, or one generated at admission. It joins
+	// the response to the DB's event log and span trees.
+	RequestID string
 }
 
 // Service executes queries against a DB through a bounded worker pool.
 // Create with New, query with Do, shut down with Close.
 type Service struct {
-	db    *stpq.DB
-	cfg   Config
-	cache *resultCache
+	db      *stpq.DB
+	cfg     Config
+	cache   *resultCache
+	started time.Time
 
 	tasks  chan *task
 	wg     sync.WaitGroup
@@ -131,6 +143,7 @@ func newUnstarted(db *stpq.DB, cfg Config) (*Service, error) {
 	s := &Service{
 		db:       db,
 		cfg:      cfg,
+		started:  time.Now(),
 		tasks:    make(chan *task, cfg.QueueDepth),
 		metrics:  reg,
 		hits:     reg.Counter("stpq_serve_cache_hits_total"),
@@ -199,11 +212,28 @@ func (s *Service) Do(ctx context.Context, q stpq.Query) (Response, error) {
 	if err := stpq.ValidateQuery(q, snap.FeatureSetNames()); err != nil {
 		return Response{}, err
 	}
+	// Request-scoped identity: honor the caller's ID, generate one
+	// otherwise, and draw the service-level trace sampling decision. The
+	// ID and decision ride the query through shard scatter-gather, core
+	// execution and the ingest overlay, stamping the span tree and the
+	// event record.
+	if q.RequestID == "" {
+		q.RequestID = newRequestID()
+	}
+	if q.Trace == stpq.TraceDefault && sampleTrace(s.cfg.TraceSample) {
+		q.Trace = stpq.TraceOn
+	}
 	fp := Fingerprint(q)
-	if s.cache != nil {
+	// Explicitly traced queries bypass the cache: their span tree must
+	// come from a real execution, not a cached neighbour's.
+	useCache := s.cache != nil && q.Trace != stpq.TraceOn
+	if useCache {
 		if resp, ok := s.cache.get(fp, snap.Generation()); ok {
 			s.hits.Inc()
-			s.latency.Observe(time.Since(start).Seconds())
+			elapsed := time.Since(start)
+			s.latency.Observe(elapsed.Seconds())
+			resp.RequestID = q.RequestID
+			snap.RecordCacheHit(q, start, elapsed)
 			return resp, nil
 		}
 		s.misses.Inc()
@@ -263,8 +293,8 @@ func (s *Service) worker() {
 			t.done <- taskResult{err: err}
 			continue
 		}
-		resp := Response{Results: res, Stats: st, Generation: t.snap.Generation()}
-		if s.cache != nil {
+		resp := Response{Results: res, Stats: st, Generation: t.snap.Generation(), RequestID: t.q.RequestID}
+		if s.cache != nil && t.q.Trace != stpq.TraceOn {
 			s.cache.put(t.fp, t.snap.Generation(), resp)
 		}
 		t.done <- taskResult{resp: resp}
@@ -296,3 +326,20 @@ func (s *Service) Closed() bool {
 // results from the previous generation become unreachable immediately —
 // cache lookups compare generations — and are evicted lazily.
 func (s *Service) Rebuild() error { return s.db.Rebuild() }
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.started) }
+
+// newRequestID generates a service-local request identity for queries that
+// arrived without one.
+func newRequestID() string {
+	return fmt.Sprintf("req-%016x", rand.Uint64())
+}
+
+// sampleTrace draws the service-level trace sampling decision.
+func sampleTrace(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return rate >= 1 || rand.Float64() < rate
+}

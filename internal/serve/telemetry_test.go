@@ -1,0 +1,283 @@
+package serve
+
+// telemetry_test.go covers the serve side of the observability surface:
+// request-ID admission and echo, the /debug endpoints, the explain request
+// field, and how tracing interacts with the result cache.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stpq"
+)
+
+// postQueryWithHeader is postQuery plus request headers.
+func postQueryWithHeader(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := jsonCopy(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+const telemetryQueryBody = `{"k":5,"radius":0.1,"lambda":0.5,"keywords":{"restaurants":["kw1","kw2"],"cafes":["kw3"]}}`
+
+func TestHTTPRequestIDEchoed(t *testing.T) {
+	svc, srv := testServer(t)
+	resp, data := postQueryWithHeader(t, srv.URL, telemetryQueryBody,
+		map[string]string{"X-Request-Id": "req-proxy-77"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "req-proxy-77" {
+		t.Errorf("echoed header = %q", got)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != "req-proxy-77" {
+		t.Errorf("body request_id = %q", out.RequestID)
+	}
+	// The same ID keys the query's event record in the DB's log.
+	evs := svc.DB().RecentQueries(1)
+	if len(evs) != 1 || evs[0].RequestID != "req-proxy-77" {
+		t.Errorf("event log = %+v", evs)
+	}
+}
+
+func TestHTTPRequestIDGenerated(t *testing.T) {
+	_, srv := testServer(t)
+	resp, data := postQuery(t, srv.URL, telemetryQueryBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	hdr := resp.Header.Get("X-Request-Id")
+	if !strings.HasPrefix(hdr, "req-") {
+		t.Errorf("generated header = %q", hdr)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != hdr {
+		t.Errorf("body request_id %q != header %q", out.RequestID, hdr)
+	}
+}
+
+func TestHTTPExplain(t *testing.T) {
+	// Cache disabled so repeated identical queries count as executions and
+	// feed the shape statistics the prediction is gated on.
+	db := testDB(t, stpq.Config{}, 200, 200)
+	svc, err := New(db, Config{Workers: 2, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+
+	explainBody := strings.TrimSuffix(telemetryQueryBody, "}") + `,"explain":true}`
+	type explainOut struct {
+		RequestID string        `json:"request_id"`
+		Explain   *stpq.Explain `json:"explain"`
+	}
+	resp, data := postQuery(t, srv.URL, explainBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out explainOut
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Explain == nil || out.Explain.Algorithm != "stps" || out.Explain.Shape == "" {
+		t.Fatalf("cold explain = %+v", out.Explain)
+	}
+	if out.Explain.Predicted != nil {
+		t.Errorf("cold explain predicted %+v", out.Explain.Predicted)
+	}
+
+	// Explain never executes; run the shape to the prediction floor.
+	for i := 0; i < stpq.MinPredictSamples; i++ {
+		if resp, data := postQuery(t, srv.URL, telemetryQueryBody); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	if _, data = postQuery(t, srv.URL, explainBody); json.Unmarshal(data, &out) != nil {
+		t.Fatalf("bad warm explain: %s", data)
+	}
+	if out.Explain.Predicted == nil || out.Explain.Predicted.Samples != int64(stpq.MinPredictSamples) {
+		t.Errorf("warm explain = %+v", out.Explain)
+	}
+}
+
+func TestHTTPDebugEndpoints(t *testing.T) {
+	db := testDB(t, stpq.Config{SlowQueryThreshold: time.Nanosecond}, 200, 200)
+	svc, err := New(db, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+
+	if resp, data := postQuery(t, srv.URL, telemetryQueryBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, data)
+	}
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	var queries struct {
+		Queries []stpq.QueryEvent `json:"queries"`
+	}
+	getJSON("/debug/queries?n=10", &queries)
+	if len(queries.Queries) != 1 {
+		t.Fatalf("/debug/queries = %d events", len(queries.Queries))
+	}
+	ev := queries.Queries[0]
+	if ev.RequestID == "" || ev.Shape == "" || ev.Outcome != "ok" {
+		t.Errorf("debug event = %+v", ev)
+	}
+
+	// The 1ns threshold marks every query slow: /debug/slow serves the
+	// same record with its complete span tree.
+	var slow struct {
+		Queries []stpq.QueryEvent `json:"queries"`
+	}
+	getJSON("/debug/slow", &slow)
+	if len(slow.Queries) != 1 || !slow.Queries[0].Slow || slow.Queries[0].Trace == nil {
+		t.Fatalf("/debug/slow = %+v", slow.Queries)
+	}
+	if slow.Queries[0].RequestID != ev.RequestID {
+		t.Errorf("slow record id %q != event id %q", slow.Queries[0].RequestID, ev.RequestID)
+	}
+
+	var shapes struct {
+		Shapes []stpq.ShapeStat `json:"shapes"`
+	}
+	getJSON("/debug/shapes", &shapes)
+	if len(shapes.Shapes) != 1 || shapes.Shapes[0].Samples != 1 || shapes.Shapes[0].Shape != ev.Shape {
+		t.Errorf("/debug/shapes = %+v", shapes.Shapes)
+	}
+}
+
+func TestHTTPTraceBypassesCache(t *testing.T) {
+	_, srv := testServer(t)
+	traceBody := strings.TrimSuffix(telemetryQueryBody, "}") + `,"trace":true}`
+
+	// Prime the cache with the untraced twin.
+	if resp, data := postQuery(t, srv.URL, telemetryQueryBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: status %d: %s", resp.StatusCode, data)
+	}
+	var out QueryResponse
+	for i := 0; i < 2; i++ {
+		_, data := postQuery(t, srv.URL, traceBody)
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Cached {
+			t.Errorf("traced query %d served from cache", i)
+		}
+		if out.Stats.Trace == nil {
+			t.Errorf("traced query %d missing its span tree", i)
+		}
+	}
+	// The untraced twin still hits the cache the traced runs must not have
+	// displaced or polluted.
+	_, data := postQuery(t, srv.URL, telemetryQueryBody)
+	out = QueryResponse{} // omitempty: absent fields keep stale values otherwise
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("untraced twin missed the cache")
+	}
+	if out.Stats.Trace != nil {
+		t.Error("cached response carries a trace")
+	}
+}
+
+func TestCacheHitRecordsEvent(t *testing.T) {
+	svc, srv := testServer(t)
+	if resp, data := postQuery(t, srv.URL, telemetryQueryBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("miss: status %d: %s", resp.StatusCode, data)
+	}
+	resp, data := postQueryWithHeader(t, srv.URL, telemetryQueryBody,
+		map[string]string{"X-Request-Id": "req-cache-hit"})
+	var out QueryResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !out.Cached {
+		t.Fatalf("second query not a cache hit: status %d, %s", resp.StatusCode, data)
+	}
+	ev := svc.DB().RecentQueries(1)[0]
+	if !ev.CacheHit || ev.RequestID != "req-cache-hit" {
+		t.Errorf("cache-hit event = %+v", ev)
+	}
+	if ev.Shape == "" {
+		t.Error("cache-hit event lost its shape label")
+	}
+	// Cache hits are attributed but must not count as engine executions.
+	shapes := svc.DB().QueryShapes()
+	if len(shapes) != 1 || shapes[0].Samples != 1 {
+		t.Errorf("shape stats after cache hit = %+v", shapes)
+	}
+}
+
+func TestServiceTraceSampling(t *testing.T) {
+	db := testDB(t, stpq.Config{}, 200, 200)
+	// Rate 1: every query is traced, so none touch the cache.
+	svc, err := New(db, Config{Workers: 2, TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	for i := 0; i < 2; i++ {
+		resp, err := svc.Do(t.Context(), testQuery(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cached {
+			t.Errorf("sampled query %d served from cache", i)
+		}
+		if resp.Stats.Trace == nil {
+			t.Errorf("sampled query %d missing its trace", i)
+		}
+		if resp.RequestID == "" {
+			t.Errorf("query %d has no request id", i)
+		}
+	}
+	ev := db.RecentQueries(1)[0]
+	if !ev.Sampled || ev.Trace == nil {
+		t.Errorf("sampled event = %+v", ev)
+	}
+}

@@ -55,6 +55,10 @@ type Options struct {
 	// Metrics, when non-nil, receives the merged per-query metrics plus
 	// the scatter counters stpq_shard_fanout_total / stpq_shard_pruned_total.
 	Metrics *obs.Registry
+	// Telemetry, when non-nil, receives one event record per merged query.
+	// Core.Telemetry is ignored for the same reason as Core.Metrics: the
+	// sub-engines must not file S events for one query.
+	Telemetry *obs.Telemetry
 }
 
 // subShard is one self-contained sub-engine.
@@ -143,6 +147,7 @@ func New(objects []index.Object, featureSets [][]index.Feature, opts Options) (*
 
 	coreOpts := opts.Core
 	coreOpts.Metrics = nil // the sharded engine observes the merged query
+	coreOpts.Telemetry = nil
 	e := &Engine{groups: groups, total: len(objects), opts: opts, part: part, trace: &atomic.Bool{}}
 	e.trace.Store(coreOpts.Trace)
 	if opts.Metrics != nil {
@@ -227,12 +232,75 @@ func (e *Engine) STPS(q core.Query) ([]core.Result, core.Stats, error) {
 	return e.run("stps", q)
 }
 
-// parallelism resolves the effective per-query fan-out width.
-func (e *Engine) parallelism() int {
+// Parallelism resolves the effective per-query fan-out width (the wave
+// size of the scatter loop).
+func (e *Engine) Parallelism() int {
 	if e.opts.Parallelism > 0 {
 		return e.opts.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// cand is one shard with its per-query upper bound.
+type cand struct {
+	sub   *subShard
+	bound float64
+}
+
+// orderShards computes every shard's upper bound for the query and sorts
+// descending (ties by shard id) — the scatter wave order.
+func (e *Engine) orderShards(q *core.Query) ([]cand, error) {
+	cands := make([]cand, len(e.shards))
+	for i, s := range e.shards {
+		b, err := s.eng.UpperBound(*q, s.rect)
+		if err != nil {
+			return nil, err
+		}
+		cands[i] = cand{sub: s, bound: b}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].bound != cands[j].bound {
+			return cands[i].bound > cands[j].bound
+		}
+		return cands[i].sub.id < cands[j].sub.id
+	})
+	return cands, nil
+}
+
+// PlanShard is one shard's entry in a query plan: its scatter position,
+// upper bound, and the wave it would run in at the engine's parallelism.
+type PlanShard struct {
+	ID      int
+	Objects int
+	Wave    int
+	Bound   float64
+	Rect    geo.Rect
+}
+
+// Plan returns the scatter order the engine would use for the query: every
+// shard with its upper bound, sorted by the wave ordering, annotated with
+// the wave index at the current parallelism. It performs no object reads
+// beyond the root-level bound evaluation and does not execute the query.
+func (e *Engine) Plan(q core.Query) ([]PlanShard, error) {
+	if err := q.Validate(len(e.groups)); err != nil {
+		return nil, err
+	}
+	cands, err := e.orderShards(&q)
+	if err != nil {
+		return nil, err
+	}
+	par := e.Parallelism()
+	plan := make([]PlanShard, len(cands))
+	for i, c := range cands {
+		plan[i] = PlanShard{
+			ID:      c.sub.id,
+			Objects: c.sub.count,
+			Wave:    i / par,
+			Bound:   c.bound,
+			Rect:    c.sub.rect,
+		}
+	}
+	return plan, nil
 }
 
 // shardOut is one shard's contribution to a query.
@@ -256,26 +324,22 @@ func (e *Engine) run(alg string, q core.Query) ([]core.Result, core.Stats, error
 		return nil, core.Stats{}, err
 	}
 	start := time.Now()
-	type cand struct {
-		sub   *subShard
-		bound float64
+	cands, err := e.orderShards(&q)
+	if err != nil {
+		return nil, core.Stats{}, err
 	}
-	cands := make([]cand, len(e.shards))
-	for i, s := range e.shards {
-		b, err := s.eng.UpperBound(q, s.rect)
-		if err != nil {
-			return nil, core.Stats{}, err
-		}
-		cands[i] = cand{sub: s, bound: b}
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].bound != cands[j].bound {
-			return cands[i].bound > cands[j].bound
-		}
-		return cands[i].sub.id < cands[j].sub.id
-	})
 
-	par := e.parallelism()
+	// One trace decision for the whole scatter-gather, forced onto the
+	// sub-queries so every shard collects (or skips) spans consistently.
+	collect, keep := core.TraceDecision(q.Trace, e.trace.Load(), e.opts.Telemetry)
+	sq := q
+	if collect {
+		sq.Trace = core.TraceOn
+	} else {
+		sq.Trace = core.TraceOff
+	}
+
+	par := e.Parallelism()
 	var (
 		merged  []core.Result
 		total   core.Stats
@@ -299,16 +363,19 @@ func (e *Engine) run(alg string, q core.Query) ([]core.Result, core.Stats, error
 			go func(out *shardOut) {
 				defer wg.Done()
 				if alg == "stds" {
-					out.res, out.st, out.err = out.sub.eng.STDS(q)
+					out.res, out.st, out.err = out.sub.eng.STDS(sq)
 				} else {
-					out.res, out.st, out.err = out.sub.eng.STPS(q)
+					out.res, out.st, out.err = out.sub.eng.STPS(sq)
 				}
 			}(&wave[i])
 		}
 		wg.Wait()
 		for i := range wave {
 			if wave[i].err != nil {
-				return nil, core.Stats{}, fmt.Errorf("shard %d: %w", wave[i].sub.id, wave[i].err)
+				werr := fmt.Errorf("shard %d: %w", wave[i].sub.id, wave[i].err)
+				total.CPUTime = time.Since(start)
+				core.RecordQueryEvent(e.opts.Telemetry, alg, &q, &total, start, werr)
+				return nil, core.Stats{}, werr
 			}
 			total.Add(wave[i].st)
 			merged = mergeTopK(merged, wave[i].res, q.K)
@@ -322,12 +389,20 @@ func (e *Engine) run(alg string, q core.Query) ([]core.Result, core.Stats, error
 	// CPUTime is the wall clock of the whole scatter-gather (the summed
 	// per-shard CPU is visible in the trace); all other counters are sums.
 	total.CPUTime = time.Since(start)
-	total.Trace = e.assembleTrace(alg, &q, &total, gotten, queried, pruned)
+	total.ShardFanout = queried
+	total.ShardPruned = pruned
+	if collect {
+		total.Trace = e.assembleTrace(alg, &q, &total, gotten, queried, pruned)
+		if keep {
+			total.Trace.MarkKeep()
+		}
+	}
 	if e.fanout != nil {
 		e.fanout.Add(int64(queried))
 		e.pruned.Add(int64(pruned))
 	}
 	core.ObserveQuery(e.opts.Metrics, alg, &q, &total)
+	core.RecordQueryEvent(e.opts.Telemetry, alg, &q, &total, start, nil)
 	return merged, total, nil
 }
 
@@ -348,15 +423,13 @@ func mergeTopK(acc, more []core.Result, k int) []core.Result {
 // traces are created inside each shard's own query call, so no span is
 // ever touched by two goroutines.
 func (e *Engine) assembleTrace(alg string, q *core.Query, total *core.Stats, gotten []shardOut, queried, pruned int) *obs.Span {
-	if !e.trace.Load() {
-		return nil
-	}
 	root := &obs.Span{
 		Name:          alg + "." + q.Variant.String() + ".scatter",
 		Count:         1,
 		Duration:      total.CPUTime,
 		LogicalReads:  total.LogicalReads,
 		PhysicalReads: total.PhysicalReads,
+		RequestID:     q.RequestID,
 		Counters: map[string]int64{
 			"shards_fanout": int64(queried),
 			"shards_pruned": int64(pruned),

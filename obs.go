@@ -30,6 +30,9 @@ type Span struct {
 	PhysicalReads int64            `json:"physical_reads"`
 	Counters      map[string]int64 `json:"counters,omitempty"`
 	Children      []*Span          `json:"children,omitempty"`
+	// RequestID is set on the root span of a query that ran under a
+	// request-scoped identity (Query.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // fromObsSpan deep-copies an internal span tree into the public type.
@@ -43,6 +46,7 @@ func fromObsSpan(s *obs.Span) *Span {
 		Duration:      s.Duration,
 		LogicalReads:  s.LogicalReads,
 		PhysicalReads: s.PhysicalReads,
+		RequestID:     s.RequestID,
 	}
 	if len(s.Counters) > 0 {
 		out.Counters = make(map[string]int64, len(s.Counters))
@@ -78,8 +82,12 @@ func (s *Span) String() string {
 	}
 	var b strings.Builder
 	s.Walk(func(depth int, sp *Span) {
+		width := 28 - 2*depth
+		if width < 1 {
+			width = 1 // deep trees stay renderable, if not column-aligned
+		}
 		fmt.Fprintf(&b, "%s%-*s ×%-5d %9s  %d/%d reads",
-			strings.Repeat("  ", depth), 28-2*depth, sp.Name, sp.Count,
+			strings.Repeat("  ", depth), width, sp.Name, sp.Count,
 			sp.Duration.Round(time.Microsecond), sp.LogicalReads, sp.PhysicalReads)
 		if len(sp.Counters) > 0 {
 			keys := make([]string, 0, len(sp.Counters))
@@ -144,12 +152,21 @@ func (db *DB) Metrics() MetricsSnapshot {
 }
 
 // WriteMetricsPrometheus writes the current metrics in Prometheus text
-// exposition format, suitable for a /metrics scrape handler.
+// exposition format, suitable for a /metrics scrape handler. The exposition
+// includes the per-shape query statistics (stpq_shape_*_total) backing
+// DB.Explain's predictions.
 func (db *DB) WriteMetricsPrometheus(w io.Writer) error {
 	db.mu.RLock()
 	snap := db.metrics.Snapshot()
+	tel := db.tel
 	db.mu.RUnlock()
-	return snap.WritePrometheus(w)
+	if err := snap.WritePrometheus(w); err != nil {
+		return err
+	}
+	if tel != nil {
+		return tel.Shapes.WritePrometheus(w)
+	}
+	return nil
 }
 
 // SetTracing toggles per-query trace collection on a built DB (Config.

@@ -139,8 +139,9 @@ func openSharded(dir string, man dbManifest) (*DB, error) {
 			BufferPages: man.Config.BufferPages,
 			PoolStripes: man.Config.PoolStripes,
 		},
-		Core:    man.Config.coreOptions(nil),
-		Metrics: db.metrics,
+		Core:      man.Config.coreOptions(nil, nil),
+		Metrics:   db.metrics,
+		Telemetry: db.tel,
 	})
 	if err != nil {
 		return nil, err
@@ -222,7 +223,7 @@ func Open(dir string) (*DB, error) {
 	for i, name := range man.SetNames {
 		fidxs[i].AttachMetrics(db.metrics, poolLabel(name))
 	}
-	eng, err := core.NewEngine(oidx, fidxs, man.Config.coreOptions(db.metrics))
+	eng, err := core.NewEngine(oidx, fidxs, man.Config.coreOptions(db.metrics, db.tel))
 	if err != nil {
 		return nil, err
 	}

@@ -13,11 +13,14 @@ package stpq
 
 import (
 	"fmt"
+	"time"
 
 	"stpq/internal/core"
 	"stpq/internal/geo"
 	"stpq/internal/index"
 	"stpq/internal/kwset"
+	"stpq/internal/obs"
+	"stpq/internal/shard"
 )
 
 // Snapshot is an immutable handle onto a built DB's indexes. It is safe
@@ -28,6 +31,7 @@ type Snapshot struct {
 	vocab  *kwset.Vocabulary
 	names  []string
 	gen    uint64
+	tel    *obs.Telemetry
 }
 
 // Snapshot returns a handle onto the current indexes. It fails with
@@ -38,7 +42,7 @@ func (db *DB) Snapshot() (*Snapshot, error) {
 	if !db.built {
 		return nil, fmt.Errorf("%w: Snapshot before Build", ErrNotBuilt)
 	}
-	return &Snapshot{engine: db.engine, vocab: db.vocab, names: db.setNames, gen: db.gen}, nil
+	return &Snapshot{engine: db.engine, vocab: db.vocab, names: db.setNames, gen: db.gen, tel: db.tel}, nil
 }
 
 // Generation returns the build generation the snapshot was taken at: 1
@@ -56,6 +60,15 @@ func (s *Snapshot) FeatureSetNames() []string {
 
 // NumObjects returns the number of indexed data objects.
 func (s *Snapshot) NumObjects() int { return s.engine.NumObjects() }
+
+// NumShards returns the number of sub-engines serving this snapshot (1 on
+// an unsharded DB).
+func (s *Snapshot) NumShards() int {
+	if e, ok := s.engine.(*shard.Engine); ok {
+		return e.NumShards()
+	}
+	return 1
+}
 
 // NumFeatures returns the number of features per set, keyed by set name.
 func (s *Snapshot) NumFeatures() map[string]int {
@@ -84,6 +97,13 @@ func (s *Snapshot) TopK(q Query) ([]Result, Stats, error) {
 	}
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	// A trace collected only provisionally — so a slow-query capture would
+	// be complete — is not part of the answer unless the query actually
+	// crossed the threshold.
+	if st.Trace != nil && !st.Trace.Kept() &&
+		!(s.tel != nil && s.tel.SlowThreshold > 0 && st.CPUTime >= s.tel.SlowThreshold) {
+		st.Trace = nil
 	}
 	out := make([]Result, len(res))
 	for i, r := range res {
@@ -119,7 +139,27 @@ func (s *Snapshot) toCoreQuery(q Query) (core.Query, error) {
 		Keywords:   kws,
 		Variant:    core.Variant(q.Variant),
 		Similarity: index.Similarity(q.Similarity),
+		RequestID:  q.RequestID,
+		Trace:      core.TraceMode(q.Trace),
 	}, nil
+}
+
+// RecordCacheHit files an event record for a query answered from a
+// serving-layer result cache under the snapshot's telemetry: the request
+// stays attributable in the event log even though no engine ran.
+func (s *Snapshot) RecordCacheHit(q Query, start time.Time, elapsed time.Duration) {
+	if s.tel == nil {
+		return
+	}
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return
+	}
+	alg := "stps"
+	if q.Algorithm == STDS {
+		alg = "stds"
+	}
+	core.RecordCacheHit(s.tel, alg, &cq, start, elapsed)
 }
 
 // Rebuild reconstructs the indexes from the raw objects and feature sets —

@@ -173,6 +173,21 @@ type Config struct {
 	// disabled path costs one nil check per instrumentation point. Can be
 	// toggled later with DB.SetTracing.
 	Tracing bool
+	// TraceSampleRate is the probability (0..1) that a query without an
+	// explicit tracing decision collects a full span tree into its event
+	// record. 0 disables sampling; queries can always opt in per-request
+	// (Query.Trace) or engine-wide (Tracing / SetTracing).
+	TraceSampleRate float64
+	// SlowQueryThreshold, when positive, makes every query whose CPU time
+	// reaches it land in the slow-query log with a complete span tree,
+	// regardless of sampling.
+	SlowQueryThreshold time.Duration
+	// EventLogEntries sizes the in-memory ring of recent query event
+	// records (0 = default 1024, negative disables the event log).
+	EventLogEntries int
+	// SlowLogEntries sizes the slow-query ring (0 = default 128, negative
+	// disables the slow log).
+	SlowLogEntries int
 	// ShardCount > 1 partitions the data spatially into that many
 	// self-contained sub-engines and answers queries by parallel
 	// scatter-gather with per-shard bound pruning. Results are identical
@@ -223,6 +238,14 @@ type Query struct {
 	// Similarity selects the textual similarity measure (default
 	// JaccardSim).
 	Similarity Similarity
+	// RequestID is an optional request-scoped identity. It is stamped onto
+	// the query's event record and span tree (never onto results), so one
+	// request is attributable across the serving, shard and core layers. It
+	// does not affect caching or results.
+	RequestID string
+	// Trace is the query's explicit tracing decision, overriding the
+	// engine toggle and the sampler (default TraceDefault).
+	Trace TraceMode
 }
 
 // Result is one ranked data object.
@@ -244,8 +267,13 @@ type Stats struct {
 	Combinations   int
 	FeaturesPulled int
 	ObjectsScored  int
+	// ShardFanout and ShardPruned count shards queried / skipped by the
+	// scatter-gather of a sharded DB; zero on unsharded DBs.
+	ShardFanout int
+	ShardPruned int
 	// Trace is the query's phase breakdown when tracing is enabled
-	// (Config.Tracing or DB.SetTracing), nil otherwise.
+	// (Config.Tracing, DB.SetTracing, Query.Trace, or a sampling hit),
+	// nil otherwise.
 	Trace *Span
 }
 
@@ -282,6 +310,7 @@ type DB struct {
 	sets     map[string][]Feature
 	engine   queryEngine
 	metrics  *obs.Registry
+	tel      *obs.Telemetry
 	inverted map[string]*invindex.Index
 	built    bool
 	gen      uint64 // build generation: 1 after Build, +1 per Rebuild
@@ -309,6 +338,8 @@ func New(cfg Config) *DB {
 		vocab:   kwset.NewVocabulary(),
 		sets:    make(map[string][]Feature),
 		metrics: obs.NewRegistry(),
+		tel: obs.NewTelemetry(cfg.EventLogEntries, cfg.SlowLogEntries,
+			cfg.TraceSampleRate, cfg.SlowQueryThreshold),
 	}
 }
 
@@ -423,8 +454,9 @@ func (db *DB) buildLocked() error {
 			Strategy:    shard.Strategy(db.cfg.ShardStrategy),
 			Parallelism: db.cfg.ShardParallelism,
 			Index:       opts,
-			Core:        db.cfg.coreOptions(nil),
+			Core:        db.cfg.coreOptions(nil, nil),
 			Metrics:     db.metrics,
+			Telemetry:   db.tel,
 		})
 		if err != nil {
 			return fmt.Errorf("stpq: building sharded engine: %w", err)
@@ -444,7 +476,7 @@ func (db *DB) buildLocked() error {
 			}
 		}
 		oidx.AttachMetrics(db.metrics, "objects")
-		eng, err := core.NewEngine(oidx, fidxs, db.cfg.coreOptions(db.metrics))
+		eng, err := core.NewEngine(oidx, fidxs, db.cfg.coreOptions(db.metrics, db.tel))
 		if err != nil {
 			return err
 		}
@@ -466,14 +498,15 @@ func (db *DB) buildLocked() error {
 	return nil
 }
 
-// coreOptions lowers the public config (plus the DB's metrics registry)
-// into engine options.
-func (cfg Config) coreOptions(metrics *obs.Registry) core.Options {
+// coreOptions lowers the public config (plus the DB's metrics registry and
+// telemetry bundle) into engine options.
+func (cfg Config) coreOptions(metrics *obs.Registry, tel *obs.Telemetry) core.Options {
 	opts := core.Options{
 		BatchSTDS:         !cfg.DisableBatchSTDS,
 		CacheVoronoiCells: cfg.CacheVoronoiCells,
 		Trace:             cfg.Tracing,
 		Metrics:           metrics,
+		Telemetry:         tel,
 	}
 	if cfg.LazyCombinations {
 		opts.Combinations = core.CombinationsLazy
@@ -620,6 +653,8 @@ func fromCoreStats(st core.Stats) Stats {
 		Combinations:   st.Combinations,
 		FeaturesPulled: st.FeaturesPulled,
 		ObjectsScored:  st.ObjectsScored,
+		ShardFanout:    st.ShardFanout,
+		ShardPruned:    st.ShardPruned,
 		Trace:          fromObsSpan(st.Trace),
 	}
 }

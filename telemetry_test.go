@@ -1,0 +1,334 @@
+package stpq
+
+// telemetry_test.go is the end-to-end check of the observability tentpole:
+// request IDs propagating from the public Query through shard
+// scatter-gather, core execution and the ingest overlay into event records
+// and span trees; the slow-query log; EXPLAIN's prediction gating; and the
+// WAL/ingest metrics.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogRecordsEveryQuery(t *testing.T) {
+	db := paperDB(t, Config{})
+	for i := 0; i < 4; i++ {
+		if _, _, err := db.TopK(paperQuery(3, STPS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := db.RecentQueries(0)
+	if len(evs) != 4 {
+		t.Fatalf("RecentQueries = %d events, want 4", len(evs))
+	}
+	ev := evs[0]
+	if ev.Algorithm != "stps" || ev.Variant != "range" || ev.K != 3 || ev.Outcome != "ok" {
+		t.Errorf("event = %+v", ev)
+	}
+	if ev.Shape == "" || !strings.Contains(ev.Shape, "stps|range|") {
+		t.Errorf("event shape = %q", ev.Shape)
+	}
+	if ev.Duration <= 0 {
+		t.Errorf("event duration = %v", ev.Duration)
+	}
+	if ev.Seq <= evs[1].Seq {
+		t.Errorf("events not newest-first: seq %d then %d", ev.Seq, evs[1].Seq)
+	}
+	if ev.Sampled || ev.Trace != nil {
+		t.Errorf("unsampled query kept a trace: %+v", ev)
+	}
+	// Failed queries are recorded too, without polluting the shape table.
+	shapes := len(db.QueryShapes())
+	bad := paperQuery(3, STPS)
+	bad.K = -1
+	if _, _, err := db.TopK(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	// Validation failures never reach the engine; force an engine-level
+	// error instead via an unknown feature set in Keywords.
+	bad = paperQuery(3, STPS)
+	bad.Keywords["nope"] = []string{"x"}
+	if _, _, err := db.TopK(bad); err == nil {
+		t.Fatal("expected unknown-set error")
+	}
+	if got := len(db.QueryShapes()); got != shapes {
+		t.Errorf("error grew the shape table: %d -> %d", shapes, got)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	db := paperDB(t, Config{})
+	q := paperQuery(3, STPS)
+	q.RequestID = "req-e2e-unsharded"
+	q.Trace = TraceOn
+	_, st, err := db.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace == nil || st.Trace.RequestID != q.RequestID {
+		t.Fatalf("stats trace request id = %+v", st.Trace)
+	}
+	ev := db.RecentQueries(1)[0]
+	if ev.RequestID != q.RequestID {
+		t.Errorf("event request id = %q", ev.RequestID)
+	}
+	if !ev.Sampled || ev.Trace == nil || ev.Trace.RequestID != q.RequestID {
+		t.Errorf("event trace = %+v", ev.Trace)
+	}
+}
+
+func TestRequestIDPropagationSharded(t *testing.T) {
+	db := paperDB(t, Config{ShardCount: 2})
+	q := paperQuery(3, STPS)
+	q.RequestID = "req-e2e-sharded"
+	q.Trace = TraceOn
+	_, st, err := db.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace == nil || st.Trace.RequestID != q.RequestID {
+		t.Fatalf("stats trace request id = %+v", st.Trace)
+	}
+	if st.ShardFanout < 1 || st.ShardFanout+st.ShardPruned != 2 {
+		t.Errorf("stats fanout/pruned = %d/%d", st.ShardFanout, st.ShardPruned)
+	}
+	ev := db.RecentQueries(1)[0]
+	if ev.RequestID != q.RequestID || ev.Trace == nil || ev.Trace.RequestID != q.RequestID {
+		t.Errorf("sharded event = req %q trace %+v", ev.RequestID, ev.Trace)
+	}
+	// The merged event carries the scatter-gather counters: this is the
+	// shard-level view joining the same request ID.
+	if ev.ShardFanout != st.ShardFanout || ev.ShardPruned != st.ShardPruned {
+		t.Errorf("event fanout/pruned = %d/%d, stats %d/%d",
+			ev.ShardFanout, ev.ShardPruned, st.ShardFanout, st.ShardPruned)
+	}
+}
+
+func TestRequestIDPropagationThroughOverlay(t *testing.T) {
+	db := paperDB(t, Config{WALDir: t.TempDir()})
+	// Push the DB onto the ingest overlay: queries now run base + delta.
+	if err := db.Apply([]Mutation{{
+		Op: OpUpsertObject, Object: &Object{ID: 99, X: 0.6, Y: 0.55},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if db.PendingOps() == 0 {
+		t.Fatal("mutation did not land in the delta")
+	}
+	q := paperQuery(3, STPS)
+	q.RequestID = "req-e2e-overlay"
+	q.Trace = TraceOn
+	_, st, err := db.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace == nil || st.Trace.RequestID != q.RequestID {
+		t.Fatalf("overlay stats trace = %+v", st.Trace)
+	}
+	ev := db.RecentQueries(1)[0]
+	if ev.RequestID != q.RequestID || ev.Trace == nil || ev.Trace.RequestID != q.RequestID {
+		t.Errorf("overlay event = req %q trace %+v", ev.RequestID, ev.Trace)
+	}
+}
+
+func TestSlowQueryCapture(t *testing.T) {
+	// A 1ns threshold forces every query over the line: each must land in
+	// the slow log with a complete span tree despite sampling being off.
+	db := paperDB(t, Config{SlowQueryThreshold: time.Nanosecond})
+	if _, _, err := db.TopK(paperQuery(3, STPS)); err != nil {
+		t.Fatal(err)
+	}
+	slow := db.SlowQueries(0)
+	if len(slow) != 1 {
+		t.Fatalf("slow log holds %d events, want 1", len(slow))
+	}
+	ev := slow[0]
+	if !ev.Slow || ev.Trace == nil {
+		t.Fatalf("slow event lacks its trace: %+v", ev)
+	}
+	if ev.Sampled {
+		t.Error("slow-only capture must not claim a sampling hit")
+	}
+	// The regular event log carries the same record.
+	if recent := db.RecentQueries(1)[0]; !recent.Slow || recent.Trace == nil {
+		t.Errorf("event-log copy lost the slow capture: %+v", recent)
+	}
+}
+
+func TestSlowThresholdKeepsFastQueriesLean(t *testing.T) {
+	// With a threshold no real query crosses, traces are collected
+	// provisionally but must be trimmed from both the event record and the
+	// query's public Stats.
+	db := paperDB(t, Config{SlowQueryThreshold: time.Hour})
+	_, st, err := db.TopK(paperQuery(3, STPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace != nil {
+		t.Errorf("provisional trace leaked into Stats: %+v", st.Trace)
+	}
+	ev := db.RecentQueries(1)[0]
+	if ev.Slow || ev.Sampled || ev.Trace != nil {
+		t.Errorf("provisional trace leaked into the event: %+v", ev)
+	}
+	if n := len(db.SlowQueries(0)); n != 0 {
+		t.Errorf("fast query reached the slow log: %d entries", n)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	db := paperDB(t, Config{TraceSampleRate: 1})
+	_, st, err := db.TopK(paperQuery(3, STPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace == nil {
+		t.Fatal("rate-1 sampling left Stats without a trace")
+	}
+	ev := db.RecentQueries(1)[0]
+	if !ev.Sampled || ev.Trace == nil {
+		t.Errorf("rate-1 sampling left the event unsampled: %+v", ev)
+	}
+	// TraceOff wins over the sampler.
+	q := paperQuery(3, STPS)
+	q.Trace = TraceOff
+	_, st, err = db.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trace != nil || db.RecentQueries(1)[0].Trace != nil {
+		t.Error("TraceOff query still collected a trace")
+	}
+}
+
+func TestExplainPredictionGating(t *testing.T) {
+	db := paperDB(t, Config{})
+	q := paperQuery(3, STPS)
+
+	ex, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Algorithm != "stps" || ex.Variant != "range" || ex.Index != "srt" {
+		t.Errorf("explain header = %+v", ex)
+	}
+	if ex.KeywordSets != 2 || ex.FeatureSets != 2 {
+		t.Errorf("keyword sets = %d/%d", ex.KeywordSets, ex.FeatureSets)
+	}
+	if ex.Predicted != nil || ex.Samples != 0 {
+		t.Errorf("cold explain predicted %+v from %d samples", ex.Predicted, ex.Samples)
+	}
+	if s := ex.String(); !strings.Contains(s, "insufficient samples (0 recorded") {
+		t.Errorf("cold render:\n%s", s)
+	}
+
+	// One short of the floor: still gated, but the samples are counted.
+	for i := 0; i < MinPredictSamples-1; i++ {
+		if _, _, err := db.TopK(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex, err = db.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Predicted != nil || ex.Samples != int64(MinPredictSamples-1) {
+		t.Errorf("below floor: predicted %+v from %d samples", ex.Predicted, ex.Samples)
+	}
+
+	// At the floor the prediction appears, fed by the recorded executions.
+	if _, _, err := db.TopK(q); err != nil {
+		t.Fatal(err)
+	}
+	if ex, err = db.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Predicted == nil || ex.Predicted.Samples != int64(MinPredictSamples) {
+		t.Fatalf("at floor: predicted %+v", ex.Predicted)
+	}
+	if ex.Predicted.MeanDuration <= 0 || ex.Predicted.MeanLogicalReads <= 0 {
+		t.Errorf("prediction means = %+v", ex.Predicted)
+	}
+	if s := ex.String(); !strings.Contains(s, "predicted (from 3 samples)") {
+		t.Errorf("warm render:\n%s", s)
+	}
+	// Explain itself must not run the query or count as a sample.
+	if ex2, _ := db.Explain(q); ex2.Samples != ex.Samples {
+		t.Errorf("Explain consumed samples: %d -> %d", ex.Samples, ex2.Samples)
+	}
+}
+
+func TestExplainShardedPlan(t *testing.T) {
+	db := paperDB(t, Config{ShardCount: 2})
+	ex, err := db.Explain(paperQuery(3, STPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Shards) != 2 || ex.Parallelism < 1 {
+		t.Fatalf("sharded plan = %+v", ex)
+	}
+	// Scatter order: bounds non-increasing, waves assigned from the order.
+	for i := 1; i < len(ex.Shards); i++ {
+		if ex.Shards[i].Bound > ex.Shards[i-1].Bound {
+			t.Errorf("scatter order broken at %d: %+v", i, ex.Shards)
+		}
+		if ex.Shards[i].Wave < ex.Shards[i-1].Wave {
+			t.Errorf("waves out of order at %d: %+v", i, ex.Shards)
+		}
+	}
+	if s := ex.String(); !strings.Contains(s, "scatter-gather over 2 shards") {
+		t.Errorf("sharded render:\n%s", s)
+	}
+}
+
+func TestWALAndDeltaMetrics(t *testing.T) {
+	db := paperDB(t, Config{WALDir: t.TempDir()})
+	// Two Apply calls: each batch is one durable WAL record.
+	for i, mut := range []Mutation{
+		{Op: OpUpsertObject, Object: &Object{ID: 90, X: 0.2, Y: 0.2}},
+		{Op: OpUpsertObject, Object: &Object{ID: 91, X: 0.3, Y: 0.3}},
+	} {
+		if err := db.Apply([]Mutation{mut}); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+	m := db.Metrics()
+	if n := m.Counters["stpq_wal_appends_total"]; n != 2 {
+		t.Errorf("wal appends = %d, want 2", n)
+	}
+	if b := m.Counters["stpq_wal_bytes_total"]; b <= 0 {
+		t.Errorf("wal bytes = %d", b)
+	}
+	if f := m.Histograms["stpq_ingest_wal_fsync_seconds"]; f.Count < 1 {
+		t.Errorf("fsync histogram count = %d", f.Count)
+	}
+	if g := m.Gauges["stpq_ingest_delta_objects"]; g != 2 {
+		t.Errorf("delta objects gauge = %v", g)
+	}
+	// A merge empties the delta and zeroes the gauge.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if g := db.Metrics().Gauges["stpq_ingest_delta_objects"]; g != 0 {
+		t.Errorf("delta gauge after flush = %v", g)
+	}
+}
+
+func TestShapeStatsInPrometheusExport(t *testing.T) {
+	db := paperDB(t, Config{})
+	for i := 0; i < 3; i++ {
+		if _, _, err := db.TopK(paperQuery(3, STPS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.WriteMetricsPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `stpq_shape_queries_total{shape="stps|range|jaccard|`) {
+		t.Errorf("/metrics missing shape stats:\n%s", out)
+	}
+}
