@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint cover bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke check
+.PHONY: build test race vet lint cover bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke cluster-smoke check
 
 build:
 	$(GO) build ./...
@@ -121,5 +121,51 @@ ingest-smoke:
 	echo "ingest-smoke: all 5 acknowledged mutations replayed after SIGKILL" && \
 	/tmp/stpqload-smoke -addr http://$(INGEST_ADDR) -c 2 -n 60 -k 5 -write-frac 0.3 && \
 	kill -INT $$pid && wait $$pid
+
+# Distributed-mode smoke test: partition one synthetic dataset across 3
+# cluster nodes, start a scatter-gather coordinator over them plus a
+# single-process stpqd on the same dataset, and require byte-identical
+# results from both for a spread of query shapes (both algorithms, range
+# and influence variants). A short stpqload run against the coordinator
+# then exercises it under concurrency.
+CLUSTER_MAP := /tmp/stpq-cluster-smoke-map.json
+CLUSTER_DATA := -synthetic -objects 2000 -features 2000
+cluster-smoke:
+	$(GO) build -o /tmp/stpqd-smoke ./cmd/stpqd
+	$(GO) build -o /tmp/stpqload-smoke ./cmd/stpqload
+	rm -f $(CLUSTER_MAP)
+	/tmp/stpqd-smoke $(CLUSTER_DATA) -write-cluster-map $(CLUSTER_MAP) \
+		-cluster-leaders 127.0.0.1:19341,127.0.0.1:19342,127.0.0.1:19343
+	/tmp/stpqd-smoke $(CLUSTER_DATA) -cluster-node -node-id 0 -cluster-map $(CLUSTER_MAP) \
+		-rpc 127.0.0.1:19341 -addr 127.0.0.1:18341 & p0=$$!; \
+	/tmp/stpqd-smoke $(CLUSTER_DATA) -cluster-node -node-id 1 -cluster-map $(CLUSTER_MAP) \
+		-rpc 127.0.0.1:19342 -addr 127.0.0.1:18342 & p1=$$!; \
+	/tmp/stpqd-smoke $(CLUSTER_DATA) -cluster-node -node-id 2 -cluster-map $(CLUSTER_MAP) \
+		-rpc 127.0.0.1:19343 -addr 127.0.0.1:18343 & p2=$$!; \
+	/tmp/stpqd-smoke -cluster-coordinator -cluster-map $(CLUSTER_MAP) -addr 127.0.0.1:18340 & pc=$$!; \
+	/tmp/stpqd-smoke $(CLUSTER_DATA) -addr 127.0.0.1:18349 & ps=$$!; \
+	trap 'kill -INT $$p0 $$p1 $$p2 $$pc $$ps 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS http://127.0.0.1:18340/readyz >/dev/null 2>&1 && \
+		   curl -fsS http://127.0.0.1:18349/healthz >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://127.0.0.1:18340/readyz >/dev/null && \
+	for q in '{"k":5,"radius":0.05,"keywords":{"set1":["kw1","kw2"],"set2":["kw3"]}}' \
+		'{"k":10,"radius":0.05,"keywords":{"set1":["kw7"],"set2":["kw8","kw9"]},"algorithm":"stds"}' \
+		'{"k":7,"variant":"influence","radius":0.1,"keywords":{"set1":["kw4"],"set2":["kw5"]}}'; do \
+		curl -fsS http://127.0.0.1:18340/query -d "$$q" > /tmp/stpq-cluster-got.json && \
+		curl -fsS http://127.0.0.1:18349/query -d "$$q" > /tmp/stpq-cluster-want.json && \
+		python3 -c 'import json; \
+got = json.load(open("/tmp/stpq-cluster-got.json"))["results"]; \
+want = json.load(open("/tmp/stpq-cluster-want.json"))["results"]; \
+assert json.dumps(got, sort_keys=True) == json.dumps(want, sort_keys=True), \
+	"cluster results diverge from single process:\n got %r\nwant %r" % (got, want)' \
+		|| exit 1; \
+	done; \
+	echo "cluster-smoke: coordinator results byte-identical to single process" && \
+	/tmp/stpqload-smoke -targets http://127.0.0.1:18340 -c 2 -n 50 -k 5 && \
+	curl -fsS http://127.0.0.1:18340/metrics | grep -q stpq_cluster_queries_total && \
+	kill -INT $$p0 $$p1 $$p2 $$pc $$ps && wait
 
 check: build vet test race

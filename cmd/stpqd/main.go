@@ -69,6 +69,19 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); enables low-rate mutex and block profiling")
 		traceRate = flag.Float64("trace-sample", 0, "fraction of queries (0..1) served with a full span tree in their event record")
 		slowQuery = flag.Duration("slow-query", 0, "queries at least this slow land in /debug/slow with a complete trace (0 = off)")
+
+		clusterNode  = flag.Bool("cluster-node", false, "serve one partition cell over the cluster RPC protocol (needs -cluster-map and -node-id)")
+		clusterCoord = flag.Bool("cluster-coordinator", false, "serve scatter-gather queries over the cluster in -cluster-map")
+		clusterMap   = flag.String("cluster-map", "", "partition map file (see -write-cluster-map)")
+		nodeID       = flag.Int("node-id", 0, "this node's cell id in the partition map")
+		rpcAddr      = flag.String("rpc", ":9090", "cluster RPC listen address (-cluster-node)")
+		follow       = flag.String("follow", "", "run as a read replica pulling WAL segments from this leader RPC endpoint")
+		walRotate    = flag.Duration("wal-rotate", time.Second, "leader WAL rotation period so followers can fetch sealed segments (0 = never)")
+		writeMap     = flag.String("write-cluster-map", "", "partition the -synthetic dataset, write the map to this file, and exit (needs -cluster-leaders)")
+		leaders      = flag.String("cluster-leaders", "", "comma-separated leader RPC endpoints, one per cell, for -write-cluster-map")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: duplicate a node call on the next replica after this delay (0 = off)")
+		retryMax     = flag.Int("retry-max", 2, "coordinator: extra attempts per node call after a retryable failure")
+		parallelism  = flag.Int("parallelism", 0, "coordinator: scatter wave width (0 = all nodes at once)")
 	)
 	flag.Parse()
 	cfg := daemonConfig{
@@ -85,7 +98,25 @@ func main() {
 			TraceSample:  *traceRate,
 		},
 	}
-	if err := run(cfg); err != nil {
+	cfg.cluster = clusterConfig{
+		node: *clusterNode, coordinator: *clusterCoord,
+		mapPath: *clusterMap, nodeID: *nodeID, rpcAddr: *rpcAddr,
+		follow: *follow, walRotate: *walRotate,
+		writeMap: *writeMap, leaders: *leaders,
+		hedgeAfter: *hedgeAfter, retryMax: *retryMax, parallelism: *parallelism,
+	}
+	var err error
+	switch {
+	case cfg.cluster.writeMap != "":
+		err = runWriteClusterMap(cfg)
+	case cfg.cluster.node:
+		err = runClusterNode(cfg)
+	case cfg.cluster.coordinator:
+		err = runCoordinator(cfg)
+	default:
+		err = run(cfg)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -105,6 +136,7 @@ type daemonConfig struct {
 	traceRate           float64
 	slowQuery           time.Duration
 	serve               serve.Config
+	cluster             clusterConfig
 }
 
 func run(cfg daemonConfig) error {
@@ -263,28 +295,10 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 			PoolStripes: cfg.stripes, WALDir: cfg.walDir,
 			TraceSampleRate: cfg.traceRate, SlowQueryThreshold: cfg.slowQuery,
 		})
-		ds := datagen.Synthetic(datagen.SyntheticConfig{
-			Objects: cfg.objects, FeaturesPerSet: cfg.features, FeatureSets: cfg.sets,
-			Vocab: cfg.vocab, Seed: cfg.seed,
-		})
-		objs := make([]stpq.Object, len(ds.Objects))
-		for i, o := range ds.Objects {
-			objs[i] = stpq.Object{ID: o.ID, X: o.Location.X, Y: o.Location.Y}
-		}
+		objs, sets := syntheticData(cfg)
 		db.AddObjects(objs)
-		for i, fs := range ds.FeatureSets {
-			feats := make([]stpq.Feature, len(fs))
-			for j, f := range fs {
-				// Synthetic keywords are abstract ids named kw<id>,
-				// matching cmd/stpqgen's CSV output.
-				var kws []string
-				f.Keywords.ForEach(func(id int) { kws = append(kws, fmt.Sprintf("kw%d", id)) })
-				feats[j] = stpq.Feature{
-					ID: f.ID, X: f.Location.X, Y: f.Location.Y,
-					Score: f.Score, Keywords: kws,
-				}
-			}
-			db.AddFeatureSet(fmt.Sprintf("set%d", i+1), feats)
+		for _, s := range sets {
+			db.AddFeatureSet(s.name, s.feats)
 		}
 		if err := db.Build(); err != nil {
 			return nil, err
@@ -298,6 +312,42 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 	default:
 		return nil, errors.New("need a dataset: pass -open <dir> or -synthetic")
 	}
+}
+
+// featureSet is one named synthetic feature set, in deterministic order.
+type featureSet struct {
+	name  string
+	feats []stpq.Feature
+}
+
+// syntheticData generates the deterministic synthetic dataset: same seed →
+// same objects, features and keyword spellings in every process, which is
+// what lets cluster nodes slice one logical dataset locally.
+func syntheticData(cfg daemonConfig) ([]stpq.Object, []featureSet) {
+	ds := datagen.Synthetic(datagen.SyntheticConfig{
+		Objects: cfg.objects, FeaturesPerSet: cfg.features, FeatureSets: cfg.sets,
+		Vocab: cfg.vocab, Seed: cfg.seed,
+	})
+	objs := make([]stpq.Object, len(ds.Objects))
+	for i, o := range ds.Objects {
+		objs[i] = stpq.Object{ID: o.ID, X: o.Location.X, Y: o.Location.Y}
+	}
+	sets := make([]featureSet, len(ds.FeatureSets))
+	for i, fs := range ds.FeatureSets {
+		feats := make([]stpq.Feature, len(fs))
+		for j, f := range fs {
+			// Synthetic keywords are abstract ids named kw<id>,
+			// matching cmd/stpqgen's CSV output.
+			var kws []string
+			f.Keywords.ForEach(func(id int) { kws = append(kws, fmt.Sprintf("kw%d", id)) })
+			feats[j] = stpq.Feature{
+				ID: f.ID, X: f.Location.X, Y: f.Location.Y,
+				Score: f.Score, Keywords: kws,
+			}
+		}
+		sets[i] = featureSet{name: fmt.Sprintf("set%d", i+1), feats: feats}
+	}
+	return objs, sets
 }
 
 // logReplay reports crash-recovery progress at startup.

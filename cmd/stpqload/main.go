@@ -9,6 +9,11 @@
 //	stpqload -addr http://localhost:8080 -c 8 -duration 10s
 //	stpqload -addr http://localhost:8080 -n 1000 -k 10 -radius 0.05
 //	stpqload -addr http://localhost:8080 -warmup 100 -n 1000
+//	stpqload -targets http://host1:8080,http://host2:8080 -duration 30s
+//
+// With -targets, requests round-robin across several endpoints — e.g.
+// a cluster coordinator plus per-node HTTP listeners, or several
+// coordinators over the same cluster map.
 //
 // With -warmup N, the first N requests are sent before the clock starts
 // and are excluded from the reported throughput and latency percentiles.
@@ -26,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stpq/internal/serve"
@@ -36,6 +42,7 @@ func main() {
 	log.SetPrefix("stpqload: ")
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "stpqd base URL")
+		targets  = flag.String("targets", "", "comma-separated base URLs served round-robin, one per request (overrides -addr)")
 		workers  = flag.Int("c", 8, "closed-loop concurrency (in-flight queries)")
 		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -n > 0)")
 		count    = flag.Int("n", 0, "total queries to send (0 = run for -duration)")
@@ -53,7 +60,19 @@ func main() {
 	if *wfrac < 0 || *wfrac > 1 {
 		log.Fatalf("-write-frac %v outside [0,1]", *wfrac)
 	}
-	if err := run(*addr, *workers, *duration, *count, *k, *radius, *lambda,
+	addrs := []string{*addr}
+	if *targets != "" {
+		addrs = nil
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				addrs = append(addrs, t)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatal("-targets has no endpoints")
+		}
+	}
+	if err := run(addrs, *workers, *duration, *count, *k, *radius, *lambda,
 		*variant, *alg, *kwPerSet, *seed, *warmup, *wfrac); err != nil {
 		log.Fatal(err)
 	}
@@ -67,17 +86,30 @@ type sample struct {
 	errs      map[int]int // HTTP status -> count (0 = transport error)
 }
 
-func run(addr string, workers int, duration time.Duration, count, k int,
+func run(addrs []string, workers int, duration time.Duration, count, k int,
 	radius, lambda float64, variant, alg string, kwPerSet int, seed int64, warmup int,
 	writeFrac float64) error {
-	addr = strings.TrimSuffix(addr, "/")
-
-	if err := checkHealthz(addr); err != nil {
-		return err
+	for i, a := range addrs {
+		addrs[i] = strings.TrimSuffix(a, "/")
 	}
-	info, err := fetchInfo(addr)
+	for _, a := range addrs {
+		if err := checkHealthz(a); err != nil {
+			return err
+		}
+	}
+	// All targets serve the same logical dataset (a coordinator reports the
+	// cluster aggregate), so one /info describes the workload.
+	info, err := fetchInfo(addrs[0])
 	if err != nil {
 		return err
+	}
+	// nextAddr hands out targets round-robin across all workers.
+	var rr atomic.Uint64
+	nextAddr := func() string {
+		if len(addrs) == 1 {
+			return addrs[0]
+		}
+		return addrs[rr.Add(1)%uint64(len(addrs))]
 	}
 	names := make([]string, 0, len(info.Keywords))
 	for name, kws := range info.Keywords {
@@ -89,11 +121,11 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 	if len(names) == 0 {
 		return fmt.Errorf("server dataset has no keywords to query")
 	}
-	log.Printf("target %s: %d objects, %d feature sets, generation %d",
-		addr, info.Objects, len(info.FeatureSets), info.Generation)
+	log.Printf("%d target(s), %s: %d objects, %d feature sets, generation %d",
+		len(addrs), strings.Join(addrs, " "), info.Objects, len(info.FeatureSets), info.Generation)
 	log.Printf("server %s (%s), up %s, %d shard(s)",
 		info.Revision, info.GoVersion,
-		(time.Duration(info.UptimeSeconds*float64(time.Second))).Round(time.Second),
+		(time.Duration(info.UptimeSeconds * float64(time.Second))).Round(time.Second),
 		max(info.Shards, 1))
 
 	var (
@@ -120,10 +152,10 @@ func run(addr string, workers int, duration time.Duration, count, k int,
 	// write paths; warmup and the measured loop share the same mix.
 	shoot := func(rng *rand.Rand, s *sample) {
 		if writeFrac > 0 && rng.Float64() < writeFrac {
-			fireIngest(addr, randomIngest(rng, names, info.Keywords), s)
+			fireIngest(nextAddr(), randomIngest(rng, names, info.Keywords), s)
 			return
 		}
-		fire(addr, newReq(rng), s)
+		fire(nextAddr(), newReq(rng), s)
 	}
 	for i := range rngs {
 		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))

@@ -225,9 +225,10 @@ func (db *DB) attachWALLocked(dir string) (int, error) {
 	appends := db.metrics.Counter("stpq_wal_appends_total")
 	walBytes := db.metrics.Counter("stpq_wal_bytes_total")
 	w, err := ingest.OpenWAL(dir, ingest.WALOptions{
-		SegmentBytes:  db.cfg.WALSegmentBytes,
-		GroupCommit:   db.cfg.WALGroupCommit,
-		FsyncObserver: fsync.Observe,
+		SegmentBytes:   db.cfg.WALSegmentBytes,
+		GroupCommit:    db.cfg.WALGroupCommit,
+		RetainSegments: db.cfg.WALRetainSegments,
+		FsyncObserver:  fsync.Observe,
 		AppendObserver: func(n int) {
 			appends.Inc()
 			walBytes.Add(int64(n))

@@ -1,0 +1,275 @@
+package cluster
+
+// http.go is the coordinator's HTTP front end — wire-compatible with a
+// single stpqd's API so clients, load generators and dashboards point at
+// a coordinator unchanged:
+//
+//	POST /query    serve.QueryRequest in, serve.QueryResponse out (plus
+//	               node_traces when tracing); explain=true returns the
+//	               scatter plan (per-node bounds and wave assignment)
+//	GET  /healthz  liveness
+//	GET  /readyz   readiness: 503 until every node answers health probes
+//	GET  /metrics  coordinator scatter-gather metrics (Prometheus text)
+//	GET  /info     aggregate dataset shape (objects summed across nodes)
+//	GET  /debug/queries  coordinator query event log (?n= limits)
+//
+// X-Request-Id is honored inbound, stamped outbound, and propagated over
+// the cluster RPC to every node the query touches, so a node's
+// /debug/queries attributes its shard of the work to the same request.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stpq"
+	"stpq/internal/serve"
+)
+
+// Handler returns the coordinator's HTTP mux.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/readyz", c.handleReadyz)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/info", c.handleInfo)
+	mux.HandleFunc("/debug/queries", c.handleDebugQueries)
+	return mux
+}
+
+// clusterQueryResponse is serve's response plus the per-node span trees
+// of a traced scatter-gather.
+type clusterQueryResponse struct {
+	serve.QueryResponse
+	NodeTraces map[int]json.RawMessage `json:"node_traces,omitempty"`
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req serve.QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	q, err := req.Query()
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	q.RequestID = r.Header.Get("X-Request-Id")
+	if q.RequestID == "" {
+		q.RequestID = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", q.RequestID)
+	if req.Explain {
+		plan, err := c.Plan(q)
+		if err != nil {
+			httpError(w, statusOf(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			RequestID   string     `json:"request_id"`
+			Parallelism int        `json:"parallelism"`
+			Plan        []PlanNode `json:"plan"`
+		}{q.RequestID, c.cfg.Parallelism, plan})
+		return
+	}
+	start := time.Now()
+	resp, err := c.Do(q)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	out := clusterQueryResponse{
+		QueryResponse: serve.QueryResponse{
+			RequestID:  resp.RequestID,
+			Results:    make([]serve.ResultJSON, len(resp.Results)),
+			Cached:     resp.Stats.Cached,
+			Generation: resp.Generation,
+			ElapsedUS:  time.Since(start).Microseconds(),
+			Stats: serve.StatsJSON{
+				CPUMicros:      resp.Stats.Sum.CPUNanos / 1e3,
+				IOMicros:       resp.Stats.Sum.IONanos / 1e3,
+				TotalMicros:    (resp.Stats.Sum.CPUNanos + resp.Stats.Sum.IONanos) / 1e3,
+				LogicalReads:   resp.Stats.Sum.LogicalReads,
+				PhysicalReads:  resp.Stats.Sum.PhysicalReads,
+				Combinations:   int(resp.Stats.Sum.Combinations),
+				FeaturesPulled: int(resp.Stats.Sum.FeaturesPulled),
+				ObjectsScored:  int(resp.Stats.Sum.ObjectsScored),
+				ShardFanout:    resp.Stats.Fanout,
+				ShardPruned:    resp.Stats.Pruned,
+			},
+		},
+	}
+	for i, res := range resp.Results {
+		out.Results[i] = serve.ResultJSON{ID: res.ID, X: res.X, Y: res.Y, Score: res.Score}
+	}
+	if len(resp.NodeTraces) > 0 {
+		out.NodeTraces = make(map[int]json.RawMessage, len(resp.NodeTraces))
+		for id, data := range resp.NodeTraces {
+			out.NodeTraces[id] = json.RawMessage(data)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statusOf maps coordinator errors onto HTTP status codes: validation →
+// 400, node overload → 429, everything else (node down, gap, transport)
+// → 502 since the failure is downstream of the coordinator.
+func statusOf(err error) int {
+	var rpc *RPCError
+	if errors.As(err, &rpc) {
+		switch rpc.Code {
+		case errInvalid:
+			return http.StatusBadRequest
+		case errOverloaded:
+			return http.StatusTooManyRequests
+		}
+		return http.StatusBadGateway
+	}
+	if errors.Is(err, stpq.ErrInvalidQuery) {
+		return http.StatusBadRequest
+	}
+	return http.StatusBadGateway
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers 200 only when every partition cell has at least
+// one replica passing health probes.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	for _, h := range c.nodes {
+		ok := false
+		for _, ep := range h.eps {
+			if ep.healthy.Load() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("node %d has no healthy replica", h.id))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.metrics.Snapshot().WritePrometheus(w)
+}
+
+// handleInfo aggregates the nodes' /info payloads: objects sum across
+// cells; feature sets and keywords come from any one node (features are
+// replicated in full everywhere); generation is the cluster maximum.
+func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	agg := serve.Info{Shards: len(c.nodes)}
+	for i, h := range c.nodes {
+		info, err := callNode(c, h, func(cl *Client) (serve.Info, error) {
+			return cl.Info()
+		})
+		if err != nil {
+			httpError(w, statusOf(err), fmt.Sprintf("info from node %d: %v", h.id, err))
+			return
+		}
+		agg.Objects += info.Objects
+		if info.Generation > agg.Generation {
+			agg.Generation = info.Generation
+		}
+		if i == 0 {
+			agg.FeatureSets = info.FeatureSets
+			agg.Keywords = info.Keywords
+			agg.Revision = info.Revision
+			agg.GoVersion = info.GoVersion
+		}
+	}
+	agg.UptimeSeconds = c.Uptime().Seconds()
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// eventJSON is the coordinator's query event in the same JSON shape as a
+// node's /debug/queries entries.
+type eventJSON struct {
+	Seq            uint64        `json:"seq"`
+	Start          time.Time     `json:"start"`
+	RequestID      string        `json:"request_id,omitempty"`
+	Shape          string        `json:"shape"`
+	Algorithm      string        `json:"algorithm"`
+	Variant        string        `json:"variant"`
+	K              int           `json:"k"`
+	Radius         float64       `json:"radius,omitempty"`
+	Duration       time.Duration `json:"duration_ns"`
+	IOTime         time.Duration `json:"io_ns"`
+	LogicalReads   int64         `json:"logical_reads"`
+	PhysicalReads  int64         `json:"physical_reads"`
+	Combinations   int           `json:"combinations"`
+	FeaturesPulled int           `json:"features_pulled"`
+	ObjectsScored  int           `json:"objects_scored"`
+	ShardFanout    int           `json:"shard_fanout,omitempty"`
+	ShardPruned    int           `json:"shard_pruned,omitempty"`
+	CacheHit       bool          `json:"cache_hit,omitempty"`
+	Outcome        string        `json:"outcome"`
+	Error          string        `json:"error,omitempty"`
+}
+
+func (c *Coordinator) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		n = 0
+	}
+	evs := c.RecentQueries(n)
+	out := make([]eventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = eventJSON{
+			Seq:            ev.Seq,
+			Start:          ev.Start,
+			RequestID:      ev.RequestID,
+			Shape:          ev.Shape,
+			Algorithm:      ev.Algorithm,
+			Variant:        ev.Variant,
+			K:              ev.K,
+			Radius:         ev.Radius,
+			Duration:       ev.Duration,
+			IOTime:         ev.IOTime,
+			LogicalReads:   ev.LogicalReads,
+			PhysicalReads:  ev.PhysicalReads,
+			Combinations:   ev.Combinations,
+			FeaturesPulled: ev.FeaturesPulled,
+			ObjectsScored:  ev.ObjectsScored,
+			ShardFanout:    ev.ShardFanout,
+			ShardPruned:    ev.ShardPruned,
+			CacheHit:       ev.CacheHit,
+			Outcome:        ev.Outcome,
+			Error:          ev.Error,
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Queries []eventJSON `json:"queries"`
+	}{out})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

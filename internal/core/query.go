@@ -689,6 +689,21 @@ func (e *Engine) UpperBound(q Query, rect geo.Rect) (float64, error) {
 	return total, nil
 }
 
+// UpperBoundAll returns UpperBound evaluated over the MBR of the engine's
+// own data objects — the admissible whole-engine bound a cluster node
+// reports to the coordinator's scatter probe. An engine whose object tree
+// is empty bounds at 0: it cannot contribute any result.
+func (e *Engine) UpperBoundAll(q Query) (float64, error) {
+	root, err := e.objects.Tree().RootEntry()
+	if err != nil {
+		return 0, err
+	}
+	if root.Rect.IsEmpty() {
+		return 0, nil
+	}
+	return e.UpperBound(q, root.Rect)
+}
+
 // virtualScore is the score of the virtual feature ∅ (paper Section 6.1).
 const virtualScore = 0.0
 

@@ -86,6 +86,25 @@ func (o *Overlay) mergeDelta(base []core.Result, q core.Query) ([]core.Result, e
 	return merged, nil
 }
 
+// UpperBoundAll returns an admissible upper bound on the merged view's
+// best possible score: the base object MBR extended by every delta-only
+// object location, evaluated against the merged feature groups (which
+// already include the delta part per set).
+func (o *Overlay) UpperBoundAll(q core.Query) (float64, error) {
+	root, err := o.eng.Objects().Tree().RootEntry()
+	if err != nil {
+		return 0, err
+	}
+	rect := root.Rect
+	for _, ob := range o.delta {
+		rect = rect.Extend(ob.Location)
+	}
+	if rect.IsEmpty() {
+		return 0, nil
+	}
+	return o.eng.UpperBound(q, rect)
+}
+
 // ExactScore scores one location against the merged feature view.
 func (o *Overlay) ExactScore(q core.Query, p geo.Point) (float64, error) {
 	return o.eng.ExactScore(q, p)

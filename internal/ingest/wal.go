@@ -69,6 +69,12 @@ type WALOptions struct {
 	// of every successfully written record (wired to the
 	// stpq_wal_appends_total / stpq_wal_bytes_total counters).
 	AppendObserver func(bytes int)
+	// RetainSegments keeps the newest N sealed segments alive across
+	// DropThrough even when a checkpoint has made their records redundant.
+	// Log-shipping followers fetch sealed segments, so a replicating leader
+	// must not garbage-collect them the moment a checkpoint lands; 0 keeps
+	// none beyond the checkpoint (the pre-replication behaviour).
+	RetainSegments int
 }
 
 // WAL is an append-only, checksummed, segmented log. Append is safe for
@@ -307,6 +313,88 @@ func (w *WAL) rotateLocked() error {
 	return w.openSegment(w.next)
 }
 
+// Rotate seals the active segment — fsyncing it, acknowledging any pending
+// group commit — and opens a fresh one, so the sealed bytes become visible
+// to SealedSegment. A no-op when the active segment is empty (rotating it
+// would recreate a segment with the same first sequence number).
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.size == 0 {
+		return nil
+	}
+	return w.rotateLocked()
+}
+
+// SealedSegment returns the first-seq and raw bytes of the earliest sealed
+// segment whose records reach seq `from` or beyond — the log-shipping fetch
+// primitive. It returns (0, nil, nil) when no sealed segment covers the
+// request (the records live in the active segment, or do not exist yet).
+// The returned bytes are a whole verified-framing segment file; the caller
+// re-verifies checksums with ScanRecords after transport.
+func (w *WAL) SealedSegment(from uint64) (uint64, []byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, nil, ErrClosed
+	}
+	for i, first := range w.segFirst {
+		if i == len(w.segFirst)-1 {
+			break // active segment: never shipped
+		}
+		if last := w.segFirst[i+1] - 1; last < from {
+			continue
+		}
+		data, err := os.ReadFile(w.segPath(first))
+		if err != nil {
+			return 0, nil, err
+		}
+		return first, data, nil
+	}
+	return 0, nil, nil
+}
+
+// SealedSegments returns the first-seq of every sealed segment, ascending
+// (the active segment is excluded).
+func (w *WAL) SealedSegments() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.segFirst) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(w.segFirst)-1)
+	copy(out, w.segFirst[:len(w.segFirst)-1])
+	return out
+}
+
+// Record is one decoded WAL record, as surfaced by ScanRecords.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ScanRecords verifies and decodes a shipped segment's raw bytes. Unlike
+// the crash-recovery scan, it is strict: any framing, checksum or sequence
+// damage — including a torn tail — is an error, because a fetched segment
+// was sealed by the leader and must arrive intact.
+func ScanRecords(data []byte, firstSeq uint64) ([]Record, error) {
+	recs, goodLen, torn, err := scanBytes(data, firstSeq, false)
+	if err != nil {
+		return nil, err
+	}
+	if torn || goodLen != int64(len(data)) {
+		return nil, fmt.Errorf("%w: shipped segment damaged at offset %d", ErrCorrupt, goodLen)
+	}
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = Record{Seq: r.seq, Payload: r.payload}
+	}
+	return out, nil
+}
+
 // Replay invokes fn for every durable record with seq ≥ from, in order.
 // Records damaged at the tail of the newest segment are skipped (they were
 // never acknowledged); damage anywhere else returns ErrCorrupt.
@@ -339,16 +427,42 @@ func (w *WAL) Replay(from uint64, fn func(seq uint64, payload []byte) error) err
 	return nil
 }
 
-// DropThrough deletes every sealed segment whose records all have seq ≤
-// through — the log-trimming step after a checkpoint makes those records
-// redundant. The active segment is never removed.
+// DropThrough deletes sealed segments whose records all have seq ≤ through
+// — the log-trimming step after a checkpoint makes those records redundant
+// — except for the newest Options.RetainSegments of them, which survive so
+// log-shipping followers can still fetch recent history. The active segment
+// is never removed.
 func (w *WAL) DropThrough(through uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Pass 1: find the deletable segments (sealed, entirely ≤ through).
+	var deletable []int
+	for i := range w.segFirst {
+		if i == len(w.segFirst)-1 {
+			break // active
+		}
+		if w.segFirst[i+1]-1 <= through {
+			deletable = append(deletable, i)
+		}
+	}
+	// Pass 2: spare the newest RetainSegments of them.
+	if keep := w.opts.RetainSegments; keep > 0 {
+		if keep >= len(deletable) {
+			deletable = nil
+		} else {
+			deletable = deletable[:len(deletable)-keep]
+		}
+	}
+	if len(deletable) == 0 {
+		return nil
+	}
+	drop := make(map[int]bool, len(deletable))
+	for _, i := range deletable {
+		drop[i] = true
+	}
 	kept := w.segFirst[:0]
 	for i, first := range w.segFirst {
-		isLast := i == len(w.segFirst)-1
-		if isLast || w.segFirst[i+1]-1 > through {
+		if !drop[i] {
 			kept = append(kept, first)
 			continue
 		}
@@ -395,13 +509,23 @@ func scanSegment(path string, firstSeq uint64, tornOK bool) (recs []walRecord, g
 	if err != nil {
 		return nil, 0, false, err
 	}
+	recs, goodLen, torn, err = scanBytes(data, firstSeq, tornOK)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("%w of %s", err, filepath.Base(path))
+	}
+	return recs, goodLen, torn, nil
+}
+
+// scanBytes is the byte-level half of scanSegment, shared with the
+// log-shipping verification of ScanRecords.
+func scanBytes(data []byte, firstSeq uint64, tornOK bool) (recs []walRecord, goodLen int64, torn bool, err error) {
 	expect := firstSeq
 	off := 0
 	fail := func(reason string) ([]walRecord, int64, bool, error) {
 		if tornOK {
 			return recs, int64(off), true, nil
 		}
-		return nil, 0, false, fmt.Errorf("%w: %s at offset %d of %s", ErrCorrupt, reason, off, filepath.Base(path))
+		return nil, 0, false, fmt.Errorf("%w: %s at offset %d", ErrCorrupt, reason, off)
 	}
 	for off < len(data) {
 		if len(data)-off < walRecordHeader {

@@ -339,3 +339,182 @@ func TestWALUnacknowledgedTailIsPrefixConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestWALRotateSealsActiveSegment checks explicit rotation: records land
+// in a sealed segment fetchable by SealedSegment, and rotating an empty
+// active segment is a no-op.
+func TestWALRotateSealsActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Nothing written: no sealed history, rotation is a no-op.
+	if first, _, err := w.SealedSegment(1); err != nil || first != 0 {
+		t.Fatalf("SealedSegment on empty log: first=%d err=%v", first, err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w.SealedSegments()); n != 0 {
+		t.Fatalf("rotating an empty log sealed %d segments", n)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Still active: not fetchable yet.
+	if first, _, err := w.SealedSegment(1); err != nil || first != 0 {
+		t.Fatalf("SealedSegment before rotate: first=%d err=%v", first, err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	first, data, err := w.SealedSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("sealed segment starts at %d, want 1", first)
+	}
+	recs, err := ScanRecords(data, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Seq != 1 || recs[4].Seq != 5 {
+		t.Fatalf("scanned %d records: %+v", len(recs), recs)
+	}
+	if string(recs[2].Payload) != "record 2" {
+		t.Fatalf("payload = %q", recs[2].Payload)
+	}
+	// Rotating again with nothing new appended stays a no-op.
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w.SealedSegments()); n != 1 {
+		t.Fatalf("double rotate produced %d sealed segments, want 1", n)
+	}
+	// A `from` past the sealed history reports nothing to fetch.
+	if first, _, err := w.SealedSegment(6); err != nil || first != 0 {
+		t.Fatalf("SealedSegment(6): first=%d err=%v", first, err)
+	}
+}
+
+// TestWALScanRecordsStrict checks the network-fetch scanner: unlike crash
+// recovery, a torn or short segment is an error, never a silent prefix.
+func TestWALScanRecordsStrict(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("payload %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := w.SealedSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := ScanRecords(data, 1); err != nil {
+		t.Fatalf("intact segment: %v", err)
+	}
+	// Empty data is zero records, not corruption.
+	if recs, err := ScanRecords(nil, 1); err != nil || len(recs) != 0 {
+		t.Fatalf("ScanRecords(nil): recs=%v err=%v", recs, err)
+	}
+	// Every proper prefix either fails with ErrCorrupt (cut mid-record) or
+	// — only when the cut lands exactly on a record boundary — scans to an
+	// intact prefix of the original records.
+	for n := 1; n < len(data); n++ {
+		recs, err := ScanRecords(data[:n], 1)
+		if err == nil {
+			for i, r := range recs {
+				if want := fmt.Sprintf("payload %d", i); string(r.Payload) != want || r.Seq != uint64(i+1) {
+					t.Fatalf("truncation to %d bytes scanned bogus record %d: %+v", n, i, r)
+				}
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d/%d bytes: err=%v, want ErrCorrupt", n, len(data), err)
+		}
+	}
+	// A flipped payload byte must fail the checksum.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-2] ^= 0x40
+	if _, err := ScanRecords(bad, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted byte: err=%v, want ErrCorrupt", err)
+	}
+	// A wrong first-sequence expectation is rejected.
+	if _, err := ScanRecords(data, 7); err == nil {
+		t.Fatal("ScanRecords accepted a mismatched first sequence")
+	}
+}
+
+// TestWALRetainSegments checks retention: DropThrough spares the newest
+// RetainSegments sealed segments it would otherwise delete, keeping
+// shipped history available to lagging followers.
+func TestWALRetainSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{SegmentBytes: 100, RetainSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := w.Append(bytes.Repeat([]byte{'a'}, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.SealedSegments()
+	if len(before) < 4 {
+		t.Fatalf("expected ≥ 4 sealed segments, got %d", len(before))
+	}
+	// Checkpoint everything: without retention all sealed segments would
+	// go; with RetainSegments=2 the newest two deletable ones survive.
+	if err := w.DropThrough(40); err != nil {
+		t.Fatal(err)
+	}
+	after := w.SealedSegments()
+	if len(after) != 2 {
+		t.Fatalf("%d sealed segments survive DropThrough, want 2 (before: %v, after: %v)",
+			len(after), before, after)
+	}
+	if after[0] != before[len(before)-2] || after[1] != before[len(before)-1] {
+		t.Fatalf("retention kept %v, want newest two of %v", after, before)
+	}
+	// The survivors stay fetchable for followers.
+	first, data, err := w.SealedSegment(after[0])
+	if err != nil || first != after[0] {
+		t.Fatalf("SealedSegment(%d): first=%d err=%v", after[0], first, err)
+	}
+	if _, err := ScanRecords(data, first); err != nil {
+		t.Fatal(err)
+	}
+	// Without retention, the same checkpoint removes all sealed history.
+	dir2 := t.TempDir()
+	w2, err := OpenWAL(dir2, WALOptions{SegmentBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := w2.Append(bytes.Repeat([]byte{'a'}, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.DropThrough(40); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w2.SealedSegments()); n != 0 {
+		t.Fatalf("without retention %d sealed segments survive, want 0", n)
+	}
+}

@@ -291,11 +291,13 @@ var buildRevision = sync.OnceValue(func() string {
 	return rev
 })
 
-func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+// InfoSnapshot assembles the dataset-shape description served at GET
+// /info. Cluster nodes also answer the info RPC with it, so a coordinator
+// can describe the whole cluster to load generators.
+func (s *Service) InfoSnapshot() (Info, error) {
 	snap, err := s.db.Snapshot()
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
-		return
+		return Info{}, err
 	}
 	info := Info{
 		Objects:       snap.NumObjects(),
@@ -310,8 +312,7 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 	for _, name := range snap.FeatureSetNames() {
 		stats, err := s.db.KeywordStats(name)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
+			return Info{}, err
 		}
 		n := len(stats)
 		if n > infoKeywords {
@@ -322,6 +323,15 @@ func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
 			kws[i] = stats[i].Keyword
 		}
 		info.Keywords[name] = kws
+	}
+	return info, nil
+}
+
+func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.InfoSnapshot()
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }

@@ -77,6 +77,64 @@ func (p partitioning) assign(pt geo.Point) int {
 	return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > k })
 }
 
+// PartitionMeta is the serializable form of a partitioning — pure data
+// (curve boundaries or grid geometry), identical in JSON shape to the
+// "partition" section of the shards.json manifest. A cluster partition map
+// embeds it so every process (coordinator, nodes, loaders) assigns any
+// point to the same cell as the engine that computed it.
+type PartitionMeta struct {
+	Strategy int      `json:"strategy"`
+	Cells    int      `json:"cells"`
+	Bounds   []uint64 `json:"bounds,omitempty"`
+	MBR      geo.Rect `json:"mbr,omitempty"`
+	Gx       int      `json:"gx,omitempty"`
+	Gy       int      `json:"gy,omitempty"`
+}
+
+// meta lowers the runtime partitioning into its serializable form.
+func (p partitioning) meta() PartitionMeta {
+	return PartitionMeta{
+		Strategy: int(p.strategy),
+		Cells:    p.cells,
+		Bounds:   p.bounds,
+		MBR:      p.mbr,
+		Gx:       p.gx,
+		Gy:       p.gy,
+	}
+}
+
+// runtime raises the serialized form back into the cell function.
+func (m PartitionMeta) runtime() partitioning {
+	return partitioning{
+		strategy: Strategy(m.Strategy),
+		cells:    m.Cells,
+		bounds:   m.Bounds,
+		mbr:      m.MBR,
+		gx:       m.Gx,
+		gy:       m.Gy,
+	}
+}
+
+// Assign maps a point to its cell under the serialized partitioning.
+func (m PartitionMeta) Assign(pt geo.Point) int { return m.runtime().assign(pt) }
+
+// BuildPartition derives a serializable cell function over `cells` cells
+// from the data-object distribution — the exported entry point cluster
+// tooling uses to slice a dataset into shard-per-node subsets. The same
+// points, cell count and strategy always produce the identical partition,
+// so independent processes agree without exchanging state.
+func BuildPartition(points []geo.Point, cells int, strategy Strategy) (PartitionMeta, error) {
+	objs := make([]index.Object, len(points))
+	for i, p := range points {
+		objs[i] = index.Object{Location: p}
+	}
+	part, err := buildPartitioning(objs, cells, strategy)
+	if err != nil {
+		return PartitionMeta{}, err
+	}
+	return part.meta(), nil
+}
+
 // buildPartitioning derives the cell function from the object distribution.
 func buildPartitioning(objects []index.Object, shards int, strategy Strategy) (partitioning, error) {
 	if shards < 1 {

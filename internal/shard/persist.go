@@ -33,21 +33,13 @@ type shardMeta struct {
 	Objects index.Meta `json:"objects"`
 }
 
-// partitionMeta serializes the cell function.
-type partitionMeta struct {
-	Strategy int      `json:"strategy"`
-	Cells    int      `json:"cells"`
-	Bounds   []uint64 `json:"bounds,omitempty"`
-	MBR      geo.Rect `json:"mbr,omitempty"`
-	Gx       int      `json:"gx,omitempty"`
-	Gy       int      `json:"gy,omitempty"`
-}
-
-// manifest is the on-disk description of a sharded engine.
+// manifest is the on-disk description of a sharded engine. The partition
+// section is the exported PartitionMeta (partition.go), shared with the
+// cluster partition map so both speak the same JSON.
 type manifest struct {
 	Version   int           `json:"version"`
 	Total     int           `json:"total"`
-	Partition partitionMeta `json:"partition"`
+	Partition PartitionMeta `json:"partition"`
 	Shards    []shardMeta   `json:"shards"`
 	// Features holds one meta per part, per feature set, in group order.
 	Features [][]index.Meta `json:"features"`
@@ -61,16 +53,9 @@ func (e *Engine) Save(dir string) error {
 		return fmt.Errorf("shard: save: %w", err)
 	}
 	man := manifest{
-		Version: 1,
-		Total:   e.total,
-		Partition: partitionMeta{
-			Strategy: int(e.part.strategy),
-			Cells:    e.part.cells,
-			Bounds:   e.part.bounds,
-			MBR:      e.part.mbr,
-			Gx:       e.part.gx,
-			Gy:       e.part.gy,
-		},
+		Version:   1,
+		Total:     e.total,
+		Partition: e.part.meta(),
 	}
 	for _, s := range e.shards {
 		meta, err := dumpIndex(filepath.Join(dir, fmt.Sprintf("objects_shard%02d.pages", s.id)), s.eng.Objects().Save)
@@ -143,15 +128,8 @@ func Open(dir string, opts Options) (*Engine, error) {
 		groups: groups,
 		total:  man.Total,
 		opts:   opts,
-		part: partitioning{
-			strategy: Strategy(man.Partition.Strategy),
-			cells:    man.Partition.Cells,
-			bounds:   man.Partition.Bounds,
-			mbr:      man.Partition.MBR,
-			gx:       man.Partition.Gx,
-			gy:       man.Partition.Gy,
-		},
-		trace: &atomic.Bool{},
+		part:   man.Partition.runtime(),
+		trace:  &atomic.Bool{},
 	}
 	e.trace.Store(coreOpts.Trace)
 	if opts.Metrics != nil {

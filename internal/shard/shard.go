@@ -267,6 +267,27 @@ func (e *Engine) orderShards(q *core.Query) ([]cand, error) {
 	return cands, nil
 }
 
+// UpperBoundAll returns the engine-wide admissible upper bound for the
+// query: the maximum per-shard bound. A cluster node serving a sharded DB
+// reports it to the coordinator's scatter probe; no object can beat it
+// because every object lives inside some shard's MBR.
+func (e *Engine) UpperBoundAll(q core.Query) (float64, error) {
+	if err := q.Validate(len(e.groups)); err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, s := range e.shards {
+		b, err := s.eng.UpperBound(q, s.rect)
+		if err != nil {
+			return 0, err
+		}
+		if b > best {
+			best = b
+		}
+	}
+	return best, nil
+}
+
 // PlanShard is one shard's entry in a query plan: its scatter position,
 // upper bound, and the wave it would run in at the engine's parallelism.
 type PlanShard struct {

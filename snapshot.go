@@ -112,6 +112,19 @@ func (s *Snapshot) TopK(q Query) ([]Result, Stats, error) {
 	return out, fromCoreStats(st), nil
 }
 
+// UpperBound returns an admissible upper bound on the best score any
+// object of this snapshot can reach under the query: no indexed object
+// scores strictly above it. A cluster node answers the coordinator's
+// scatter probe with it, turning the sharded engine's wave-pruning rule
+// into a network protocol.
+func (s *Snapshot) UpperBound(q Query) (float64, error) {
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return 0, err
+	}
+	return s.engine.UpperBoundAll(cq)
+}
+
 // Score computes the exact spatio-textual preference score of an arbitrary
 // location under the query, by brute force. Intended for debugging and
 // verification, not for production use.

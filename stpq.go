@@ -211,6 +211,11 @@ type Config struct {
 	// WALSegmentBytes caps WAL segment file size before rotation
 	// (default 4 MiB).
 	WALSegmentBytes int64
+	// WALRetainSegments keeps the newest N sealed WAL segments alive across
+	// Checkpoint even when the checkpoint has made their records redundant,
+	// so log-shipping followers can still fetch recent history. 0 deletes
+	// every checkpointed segment immediately.
+	WALRetainSegments int
 	// AutoFlushOps bounds the in-memory delta: when this many mutations
 	// accumulate, Apply merges them into a new base generation. 0 means
 	// DefaultAutoFlushOps; negative disables auto-flush (Flush manually).
@@ -288,6 +293,7 @@ type queryEngine interface {
 	STDS(core.Query) ([]core.Result, core.Stats, error)
 	STPS(core.Query) ([]core.Result, core.Stats, error)
 	ExactScore(core.Query, geo.Point) (float64, error)
+	UpperBoundAll(core.Query) (float64, error)
 	FeatureGroups() []*index.FeatureGroup
 	NumObjects() int
 	SetTrace(bool)
