@@ -46,7 +46,7 @@ func main() {
 		r           = flag.Float64("r", 0.01, "query radius (normalized)")
 		lambda      = flag.Float64("lambda", 0.5, "smoothing parameter λ")
 		variant     = flag.String("variant", "range", "score variant: range | influence | nn")
-		alg         = flag.String("alg", "stps", "algorithm: stps | stds")
+		alg         = flag.String("alg", "stps", "algorithm: stps | stds | auto (cost-based planner)")
 		indexKind   = flag.String("index", "srt", "feature index: srt | ir2")
 		sim         = flag.String("sim", "jaccard", "textual similarity: jaccard | dice | cosine | overlap")
 		saveDir     = flag.String("save", "", "after building, save the indexes to this directory")
@@ -122,6 +122,8 @@ func main() {
 	case "stps":
 	case "stds":
 		q.Algorithm = stpq.STDS
+	case "auto":
+		q.Algorithm = stpq.Auto
 	default:
 		log.Fatalf("unknown -alg %q", *alg)
 	}

@@ -68,7 +68,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stpqbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | serve | shard | hotpath | ingest | cluster")
+		exp     = flag.String("exp", "all", "experiment: all | table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | serve | shard | hotpath | ingest | cluster | planner")
 		queries = flag.Int("queries", 100, "queries per data point (the paper used 1000)")
 		t3q     = flag.Int("table3queries", 3, "queries per STDS data point (STDS is slow by design)")
 		scale   = flag.Float64("scale", 1.0, "dataset cardinality multiplier")
@@ -111,8 +111,9 @@ func main() {
 		"hotpath": b.hotpath,
 		"ingest":  b.ingestExp,
 		"cluster": b.clusterExp,
+		"planner": b.plannerExp,
 	}
-	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "serve", "shard", "hotpath", "ingest", "cluster"}
+	order := []string{"table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "serve", "shard", "hotpath", "ingest", "cluster", "planner"}
 
 	start := time.Now()
 	runExp := func(name string) {

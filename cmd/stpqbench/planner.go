@@ -1,0 +1,187 @@
+package main
+
+// planner.go benchmarks the cost-based planner: a mixed workload of query
+// shapes where neither algorithm dominates, run three times over the same
+// DB — forced STDS, forced STPS, and Auto. The planner first warms each
+// shape's statistics under both algorithms (exactly what a production DB
+// accumulates in its first minutes of traffic), then the measured passes
+// compare Auto's per-shape mean against both fixed choices. The claim under
+// test: Auto tracks the better fixed algorithm on every shape, so its
+// overall mean beats whichever single algorithm a static deployment would
+// have had to pick.
+//
+// Like the shard and cluster sweeps, the records always land in
+// BENCH_planner.json.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stpq"
+	"stpq/internal/core"
+	"stpq/internal/obs"
+)
+
+// plannerBenchFile is where the planner comparison always saves its records.
+const plannerBenchFile = "BENCH_planner.json"
+
+// plannerShape is one query shape of the mixed workload.
+type plannerShape struct {
+	name    string
+	variant stpq.Variant
+	radius  float64
+	k       int
+}
+
+func (b *bench) plannerExp() {
+	header("planner: auto vs forced algorithm, per shape (SRT)")
+	ds := b.synthetic(b.scaled(defObjects), b.scaled(defFeatures), defSets, defVocab)
+
+	db := stpq.New(stpq.Config{})
+	objs := make([]stpq.Object, len(ds.Objects))
+	for i, o := range ds.Objects {
+		objs[i] = stpq.Object{ID: o.ID, X: o.Location.X, Y: o.Location.Y}
+	}
+	db.AddObjects(objs)
+	setNames := make([]string, len(ds.FeatureSets))
+	for i, fs := range ds.FeatureSets {
+		feats := make([]stpq.Feature, len(fs))
+		for j, f := range fs {
+			var kws []string
+			f.Keywords.ForEach(func(id int) { kws = append(kws, fmt.Sprintf("kw%d", id)) })
+			feats[j] = stpq.Feature{ID: f.ID, X: f.Location.X, Y: f.Location.Y,
+				Score: f.Score, Keywords: kws}
+		}
+		setNames[i] = fmt.Sprintf("set%d", i+1)
+		db.AddFeatureSet(setNames[i], feats)
+	}
+	if err := db.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Shapes chosen so the STDS/STPS balance varies: radius drives how much
+	// of the feature space each algorithm touches, and the variants differ
+	// in pruning structure.
+	shapes := []plannerShape{
+		{"range/r=0.005", stpq.Range, 0.005, defK},
+		{"range/r=0.02", stpq.Range, 0.02, defK},
+		{"influence/r=0.02", stpq.Influence, 0.02, defK},
+		{"nn", stpq.NearestNeighbor, 0, defK},
+	}
+	// STDS passes run the slow algorithm too; keep the per-shape workload
+	// in table3 territory rather than the full -queries sweep.
+	nq := b.table3Queries * 4
+	if nq > b.queries {
+		nq = b.queries
+	}
+
+	var recs []Record
+	overall := map[string]float64{} // algorithm -> summed per-shape mean ms
+	for _, sh := range shapes {
+		qs := b.plannerQueries(sh, setNames, nq)
+
+		// Warm both candidate shapes past the prediction floor so the
+		// measured Auto pass decides from real statistics, not the
+		// cold-start fallback.
+		for _, alg := range []stpq.Algorithm{stpq.STDS, stpq.STPS} {
+			for i := 0; i < int(obs.MinPredictSamples); i++ {
+				q := qs[i%len(qs)]
+				q.Algorithm = alg
+				if _, _, err := db.TopK(q); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+
+		choice := "?"
+		if ex, err := db.Explain(withAlg(qs[0], stpq.Auto)); err == nil && ex.Plan != nil {
+			choice = ex.Plan.Algorithm
+		}
+		means := map[string]float64{}
+		for _, alg := range []stpq.Algorithm{stpq.STDS, stpq.STPS, stpq.Auto} {
+			name := algName(alg)
+			per := make([]core.Stats, len(qs))
+			for i, q := range qs {
+				_, st, err := db.TopK(withAlg(q, alg))
+				if err != nil {
+					log.Fatal(err)
+				}
+				per[i] = core.Stats{
+					CPUTime: st.CPUTime, IOTime: st.IOTime,
+					LogicalReads: st.LogicalReads, PhysicalReads: st.PhysicalReads,
+					Combinations:   st.Combinations,
+					FeaturesPulled: st.FeaturesPulled,
+					ObjectsScored:  st.ObjectsScored,
+				}
+			}
+			label := fmt.Sprintf("  %-18s %s", sh.name, name)
+			rec := newRecord("planner", label, "SRT", name, nil, per)
+			rec.Variant = core.Variant(sh.variant).String()
+			if alg == stpq.Auto {
+				rec.Counters = map[string]int64{"auto_chose_stds": 0}
+				if choice == "stds" {
+					rec.Counters["auto_chose_stds"] = 1
+				}
+			}
+			recs = append(recs, rec)
+			means[name] = rec.TotalMS.Mean
+			overall[name] += rec.TotalMS.Mean
+		}
+		line(fmt.Sprintf("  %s", sh.name),
+			fmt.Sprintf("stds %8.1fms  stps %8.1fms  auto %8.1fms (chose %s)",
+				means["stds"], means["stps"], means["auto"], choice))
+	}
+	line("  overall (mean of shapes)",
+		fmt.Sprintf("stds %8.1fms  stps %8.1fms  auto %8.1fms",
+			overall["stds"]/float64(len(shapes)),
+			overall["stps"]/float64(len(shapes)),
+			overall["auto"]/float64(len(shapes))))
+
+	if err := writeRecords(plannerBenchFile, recs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d planner records to %s", len(recs), plannerBenchFile)
+	if b.jsonPath != "" {
+		b.records = append(b.records, recs...)
+	}
+}
+
+// plannerQueries builds the fixed random workload of one shape.
+func (b *bench) plannerQueries(sh plannerShape, setNames []string, n int) []stpq.Query {
+	rng := rand.New(rand.NewSource(b.seed))
+	qs := make([]stpq.Query, n)
+	for i := range qs {
+		kw := make(map[string][]string, len(setNames))
+		for _, name := range setNames {
+			words := make([]string, defQKw)
+			for j := range words {
+				words[j] = fmt.Sprintf("kw%d", rng.Intn(defVocab))
+			}
+			kw[name] = words
+		}
+		qs[i] = stpq.Query{
+			K: sh.k, Radius: sh.radius, Lambda: defLambda,
+			Variant: sh.variant, Keywords: kw,
+		}
+	}
+	return qs
+}
+
+// withAlg returns q with the algorithm replaced.
+func withAlg(q stpq.Query, alg stpq.Algorithm) stpq.Query {
+	q.Algorithm = alg
+	return q
+}
+
+// algName renders an algorithm choice with the telemetry spelling.
+func algName(a stpq.Algorithm) string {
+	switch a {
+	case stpq.STDS:
+		return "stds"
+	case stpq.Auto:
+		return "auto"
+	default:
+		return "stps"
+	}
+}

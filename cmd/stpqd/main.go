@@ -69,6 +69,8 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); enables low-rate mutex and block profiling")
 		traceRate = flag.Float64("trace-sample", 0, "fraction of queries (0..1) served with a full span tree in their event record")
 		slowQuery = flag.Duration("slow-query", 0, "queries at least this slow land in /debug/slow with a complete trace (0 = off)")
+		planMode  = flag.String("plan", "auto", "algorithm for requests that don't name one: auto (cost-based planner) | stds | stps")
+		costCap   = flag.Duration("max-inflight-cost", 0, "shed queries whose predicted cost would push the summed in-flight predicted cost over this budget (0 = off)")
 
 		clusterNode  = flag.Bool("cluster-node", false, "serve one partition cell over the cluster RPC protocol (needs -cluster-map and -node-id)")
 		clusterCoord = flag.Bool("cluster-coordinator", false, "serve scatter-gather queries over the cluster in -cluster-map")
@@ -91,12 +93,23 @@ func main() {
 		stripes: *stripes, pprofAddr: *pprofAddr, walDir: *walDir,
 		traceRate: *traceRate, slowQuery: *slowQuery,
 		serve: serve.Config{
-			Workers:      *workers,
-			QueueDepth:   *queue,
-			Timeout:      *timeout,
-			CacheEntries: *cacheSize,
-			TraceSample:  *traceRate,
+			Workers:         *workers,
+			QueueDepth:      *queue,
+			Timeout:         *timeout,
+			CacheEntries:    *cacheSize,
+			TraceSample:     *traceRate,
+			MaxInflightCost: *costCap,
 		},
+	}
+	switch *planMode {
+	case "auto":
+		cfg.serve.DefaultAlgorithm = stpq.Auto
+	case "stds":
+		cfg.serve.DefaultAlgorithm = stpq.STDS
+	case "stps":
+		cfg.serve.DefaultAlgorithm = stpq.STPS
+	default:
+		log.Fatalf("unknown -plan %q (want auto, stds or stps)", *planMode)
 	}
 	cfg.cluster = clusterConfig{
 		node: *clusterNode, coordinator: *clusterCoord,
@@ -162,8 +175,12 @@ func run(cfg daemonConfig) error {
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (healthz 503 until the index is built)", cfg.addr)
 
+	type running struct {
+		svc *serve.Service
+		db  *stpq.DB
+	}
 	buildErrc := make(chan error, 1)
-	svcc := make(chan *serve.Service, 1)
+	svcc := make(chan running, 1)
 	go func() {
 		db, err := loadDB(cfg)
 		if err != nil {
@@ -178,7 +195,7 @@ func run(cfg daemonConfig) error {
 		ready := svc.Handler()
 		handler.Store(&ready)
 		log.Printf("index ready: serving queries")
-		svcc <- svc
+		svcc <- running{svc, db}
 	}()
 
 	select {
@@ -193,9 +210,18 @@ func run(cfg daemonConfig) error {
 	}
 	log.Printf("shutting down: draining queries")
 	select {
-	case svc := <-svcc:
-		log.Printf("result cache hit fraction: %.1f%%", 100*svc.CacheHitFraction())
-		svc.Close() // stop admission, drain queue and in-flight queries
+	case r := <-svcc:
+		log.Printf("result cache hit fraction: %.1f%%", 100*r.svc.CacheHitFraction())
+		r.svc.Close() // stop admission, drain queue and in-flight queries
+		// Persist the per-shape cost statistics next to an opened DB so the
+		// planner restarts warm instead of re-learning every shape.
+		if cfg.open != "" {
+			if err := r.db.SaveShapes(cfg.open); err != nil {
+				log.Printf("warning: saving shape statistics: %v", err)
+			} else {
+				log.Printf("shape statistics saved to %s", cfg.open)
+			}
+		}
 	default: // interrupted before the build finished
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -50,7 +50,7 @@ func main() {
 		radius   = flag.Float64("radius", 0.1, "query radius")
 		lambda   = flag.Float64("lambda", 0.5, "query lambda")
 		variant  = flag.String("variant", "range", "variant: range | influence | nn")
-		alg      = flag.String("algorithm", "stps", "algorithm: stps | stds")
+		alg      = flag.String("algorithm", "stps", "algorithm: stps | stds | auto (empty = server default)")
 		kwPerSet = flag.Int("keywords", 2, "query keywords per feature set")
 		seed     = flag.Int64("seed", 1, "random seed for query generation")
 		warmup   = flag.Int("warmup", 0, "warmup requests sent before measuring; excluded from reported percentiles")
@@ -83,7 +83,11 @@ type sample struct {
 	latencies []time.Duration
 	writeLats []time.Duration
 	cached    int
-	errs      map[int]int // HTTP status -> count (0 = transport error)
+	// errs counts failures by class: "HTTP <status> (<reason>)" using the
+	// server's machine-readable rejection reason when present — so the
+	// report tells queue-full 429s apart from cost-shed 429s — plain
+	// "HTTP <status>" otherwise, and "transport" for connection errors.
+	errs map[string]int
 }
 
 func run(addrs []string, workers int, duration time.Duration, count, k int,
@@ -170,7 +174,7 @@ func run(addrs []string, workers int, duration time.Duration, count, k int,
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				discard := &sample{errs: make(map[int]int)}
+				discard := &sample{errs: make(map[string]int)}
 				for n := split(warmup, i); n > 0; n-- {
 					shoot(rngs[i], discard)
 				}
@@ -182,7 +186,7 @@ func run(addrs []string, workers int, duration time.Duration, count, k int,
 	start := time.Now()
 	deadline := start.Add(duration)
 	for i := 0; i < workers; i++ {
-		samples[i] = &sample{errs: make(map[int]int)}
+		samples[i] = &sample{errs: make(map[string]int)}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -252,15 +256,15 @@ func fireIngest(addr string, req serve.IngestRequest, s *sample) {
 	t0 := time.Now()
 	resp, err := http.Post(addr+"/ingest", "application/json", bytes.NewReader(body))
 	if err != nil {
-		s.errs[0]++
+		s.errs["transport"]++
 		return
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		s.errs[resp.StatusCode]++
+		s.errs[errKey(resp.StatusCode, resp.Body)]++
 		return
 	}
+	io.Copy(io.Discard, resp.Body)
 	s.writeLats = append(s.writeLats, time.Since(t0))
 }
 
@@ -270,24 +274,37 @@ func fire(addr string, req serve.QueryRequest, s *sample) {
 	t0 := time.Now()
 	resp, err := http.Post(addr+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		s.errs[0]++
+		s.errs["transport"]++
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		s.errs[resp.StatusCode]++
+		s.errs[errKey(resp.StatusCode, resp.Body)]++
 		return
 	}
 	var out serve.QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		s.errs[0]++
+		s.errs["transport"]++
 		return
 	}
 	s.latencies = append(s.latencies, time.Since(t0))
 	if out.Cached {
 		s.cached++
 	}
+}
+
+// errKey classifies one failed response for the error breakdown, folding in
+// the server's machine-readable rejection reason when the body carries one.
+func errKey(status int, body io.Reader) string {
+	var er struct {
+		Reason string `json:"reason"`
+	}
+	_ = json.NewDecoder(body).Decode(&er)
+	io.Copy(io.Discard, body)
+	if er.Reason != "" {
+		return fmt.Sprintf("HTTP %d (%s)", status, er.Reason)
+	}
+	return fmt.Sprintf("HTTP %d", status)
 }
 
 func checkHealthz(addr string) error {
@@ -323,13 +340,13 @@ func fetchInfo(addr string) (serve.Info, error) {
 func report(samples []*sample, elapsed time.Duration) {
 	var all, writes []time.Duration
 	cached, errTotal := 0, 0
-	errs := make(map[int]int)
+	errs := make(map[string]int)
 	for _, s := range samples {
 		all = append(all, s.latencies...)
 		writes = append(writes, s.writeLats...)
 		cached += s.cached
-		for code, n := range s.errs {
-			errs[code] += n
+		for class, n := range s.errs {
+			errs[class] += n
 			errTotal += n
 		}
 	}
@@ -350,17 +367,13 @@ func report(samples []*sample, elapsed time.Duration) {
 			quantile(writes, 0.50), quantile(writes, 0.90), quantile(writes, 0.99), writes[w-1])
 	}
 	if errTotal > 0 {
-		codes := make([]int, 0, len(errs))
+		classes := make([]string, 0, len(errs))
 		for c := range errs {
-			codes = append(codes, c)
+			classes = append(classes, c)
 		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			label := fmt.Sprintf("HTTP %d", c)
-			if c == 0 {
-				label = "transport"
-			}
-			fmt.Printf("errors      %s: %d\n", label, errs[c])
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Printf("errors      %s: %d\n", c, errs[c])
 		}
 	}
 }

@@ -14,8 +14,62 @@ import (
 
 	"stpq/internal/core"
 	"stpq/internal/obs"
+	"stpq/internal/plan"
 	"stpq/internal/shard"
 )
+
+// PlanCandidate is one algorithm the planner considered for a query, with
+// the statistical evidence it had at decision time.
+type PlanCandidate struct {
+	Algorithm string `json:"algorithm"`
+	// Samples is the number of recorded executions of the query's shape
+	// under this algorithm; Known reports it reached MinPredictSamples.
+	Samples int64 `json:"samples"`
+	// Cost is the recorded mean total cost (CPU + modeled I/O), zero when
+	// unobserved.
+	Cost  time.Duration `json:"cost_ns"`
+	Known bool          `json:"known"`
+}
+
+// PlanDecision is the cost-based planner's verdict for a query: the
+// algorithm it chose (or annotated, when forced), why, at what predicted
+// cost, and the alternatives it weighed. Explain embeds it, and
+// Snapshot.PlanQuery returns it standalone.
+type PlanDecision struct {
+	Algorithm string `json:"algorithm"`
+	Reason    string `json:"reason"`
+	// Forced reports the caller fixed the algorithm; Fallback the
+	// deterministic cold-start default (Auto below the sample floor).
+	Forced   bool `json:"forced,omitempty"`
+	Fallback bool `json:"fallback,omitempty"`
+	// Cost is the predicted mean total cost of the chosen plan, unknown
+	// (CostKnown false) below the sample floor.
+	Cost      time.Duration `json:"cost_ns,omitempty"`
+	CostKnown bool          `json:"cost_known"`
+	// Fanout is the planner's scatter wave width for sharded execution;
+	// 0 keeps the engine default.
+	Fanout     int             `json:"fanout,omitempty"`
+	Candidates []PlanCandidate `json:"candidates,omitempty"`
+}
+
+// fromPlanDecision lifts the internal decision into the public type.
+func fromPlanDecision(d plan.Decision) PlanDecision {
+	out := PlanDecision{
+		Algorithm: d.Algorithm,
+		Reason:    d.Reason,
+		Forced:    d.Forced,
+		Fallback:  d.Fallback,
+		Cost:      d.Cost,
+		CostKnown: d.CostKnown,
+		Fanout:    d.Fanout,
+	}
+	for _, c := range d.Candidates {
+		out.Candidates = append(out.Candidates, PlanCandidate{
+			Algorithm: c.Algorithm, Samples: c.Samples, Cost: c.Cost, Known: c.Known,
+		})
+	}
+	return out
+}
 
 // ExplainShard is one shard's entry in a sharded query plan, in scatter
 // order: the wave it runs in at the current parallelism and the upper
@@ -55,6 +109,10 @@ type Explain struct {
 	// number of recorded executions either way.
 	Predicted *ShapeStat `json:"predicted,omitempty"`
 	Samples   int64      `json:"samples"`
+	// Plan is the cost-based planner's decision: for Algorithm: Auto the
+	// choice it made and why, for forced algorithms the annotation of what
+	// it would have done.
+	Plan *PlanDecision `json:"plan,omitempty"`
 }
 
 // MinPredictSamples is how many recorded executions a query shape needs
@@ -92,10 +150,11 @@ func (s *Snapshot) Explain(q Query) (*Explain, error) {
 	if err != nil {
 		return nil, err
 	}
-	alg := "stps"
-	if q.Algorithm == STDS {
-		alg = "stds"
-	}
+	// The planner decision comes first: with Algorithm: Auto the rest of
+	// the explanation (shape, prediction) describes the resolved plan.
+	d := s.decide(q, &cq)
+	alg := d.Algorithm
+	pd := fromPlanDecision(d)
 	key := core.QueryShapeKey(alg, &cq)
 	ex := &Explain{
 		Algorithm:   alg,
@@ -105,6 +164,7 @@ func (s *Snapshot) Explain(q Query) (*Explain, error) {
 		Radius:      q.Radius,
 		KeywordSets: key.Sets,
 		FeatureSets: len(s.names),
+		Plan:        &pd,
 	}
 	if s.tel != nil {
 		ex.Shape = s.tel.Shapes.Name(key)
@@ -125,14 +185,21 @@ func (s *Snapshot) Explain(q Query) (*Explain, error) {
 		ex.Shape = key.String()
 	}
 	if eng, ok := s.engine.(*shard.Engine); ok {
-		plan, err := eng.Plan(cq)
+		sp, err := eng.Plan(cq)
 		if err != nil {
 			return nil, err
 		}
 		ex.Parallelism = eng.Parallelism()
-		ex.Shards = make([]ExplainShard, len(plan))
-		for i, p := range plan {
-			ex.Shards[i] = ExplainShard{ID: p.ID, Wave: p.Wave, Bound: p.Bound, Objects: p.Objects}
+		if pd.Fanout > 0 && pd.Fanout < ex.Parallelism {
+			ex.Parallelism = pd.Fanout
+		}
+		ex.Shards = make([]ExplainShard, len(sp))
+		for i, p := range sp {
+			wave := p.Wave
+			if ex.Parallelism > 0 {
+				wave = i / ex.Parallelism
+			}
+			ex.Shards[i] = ExplainShard{ID: p.ID, Wave: wave, Bound: p.Bound, Objects: p.Objects}
 		}
 	}
 	return ex, nil
@@ -152,6 +219,21 @@ func (e *Explain) String() string {
 	}
 	fmt.Fprintf(&b, " keyword sets: %d/%d non-empty\n", e.KeywordSets, e.FeatureSets)
 	fmt.Fprintf(&b, "  shape: %s\n", e.Shape)
+	if p := e.Plan; p != nil {
+		fmt.Fprintf(&b, "  planner: %s — %s\n", p.Algorithm, p.Reason)
+		for _, c := range p.Candidates {
+			if c.Known {
+				fmt.Fprintf(&b, "    candidate %s: predicted %s (%d samples)\n",
+					c.Algorithm, c.Cost.Round(time.Microsecond), c.Samples)
+			} else {
+				fmt.Fprintf(&b, "    candidate %s: cold (%d of %d samples)\n",
+					c.Algorithm, c.Samples, MinPredictSamples)
+			}
+		}
+		if p.Fanout > 0 {
+			fmt.Fprintf(&b, "    fan-out: %d shard(s) per wave (cost-based)\n", p.Fanout)
+		}
+	}
 	if len(e.Shards) > 0 {
 		fmt.Fprintf(&b, "  plan: scatter-gather over %d shards, parallelism %d\n", len(e.Shards), e.Parallelism)
 		for _, sh := range e.Shards {

@@ -26,6 +26,7 @@ import (
 
 	"stpq"
 	"stpq/internal/obs"
+	"stpq/internal/plan"
 )
 
 // CoordinatorConfig tunes the scatter-gather coordinator.
@@ -395,18 +396,19 @@ func (c *Coordinator) Plan(q stpq.Query) ([]PlanNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := make([]PlanNode, len(cands))
+	par := c.waveWidth(q)
+	nodes := make([]PlanNode, len(cands))
 	for i, cand := range cands {
 		spec := c.cfg.Map.Nodes[cand.h.id]
-		plan[i] = PlanNode{
+		nodes[i] = PlanNode{
 			ID:        cand.h.id,
 			Bound:     cand.bound,
-			Wave:      i / c.cfg.Parallelism,
+			Wave:      i / par,
 			Leader:    spec.Leader,
 			Followers: len(spec.Followers),
 		}
 	}
-	return plan, nil
+	return nodes, nil
 }
 
 // probeBounds collects every node's admissible bound (with failover) and
@@ -477,12 +479,13 @@ func (c *Coordinator) run(q stpq.Query, wq WireQuery) (*ClusterResponse, error) 
 		reply QueryReply
 		err   error
 	}
+	par := c.waveWidth(q)
 	queried := 0
 	for next := 0; next < len(cands); {
 		if len(resp.Results) >= q.K && resp.Results[q.K-1].Score > cands[next].bound {
 			break // every remaining node is strictly out-scored
 		}
-		end := next + c.cfg.Parallelism
+		end := next + par
 		if end > len(cands) {
 			end = len(cands)
 		}
@@ -535,18 +538,12 @@ func (c *Coordinator) run(q stpq.Query, wq WireQuery) (*ClusterResponse, error) 
 // shape table, keyed by the same canonical shape as single-node events so
 // /debug/queries on the coordinator attributes the remote work.
 func (c *Coordinator) recordEvent(q stpq.Query, resp *ClusterResponse, start time.Time, elapsed time.Duration, err error) {
-	alg, variant, sim := queryEnumNames(q)
-	sets := 0
-	for _, kws := range q.Keywords {
-		if len(kws) > 0 {
-			sets++
-		}
-	}
+	key := shapeKeyOf(q)
 	ev := obs.QueryEvent{
 		Start:     start,
 		RequestID: q.RequestID,
-		Algorithm: alg,
-		Variant:   variant,
+		Algorithm: key.Alg,
+		Variant:   key.Variant,
 		K:         q.K,
 		Radius:    q.Radius,
 		Duration:  elapsed,
@@ -566,12 +563,41 @@ func (c *Coordinator) recordEvent(q stpq.Query, resp *ClusterResponse, start tim
 		ev.ShardPruned = resp.Stats.Pruned
 		ev.CacheHit = resp.Stats.Cached
 	}
+	c.tel.Record(ev, key, err == nil)
+}
+
+// shapeKeyOf is the coordinator-side canonical shape of a query — the same
+// key recordEvent files costs under, so waveWidth's lookups always match.
+// Auto queries key under "auto": the coordinator cannot see which algorithm
+// each node's local planner resolved, but the merged cluster-level cost of
+// the auto plan is exactly what its fan-out decision needs.
+func shapeKeyOf(q stpq.Query) obs.ShapeKey {
+	alg, variant, sim := queryEnumNames(q)
+	sets := 0
+	for _, kws := range q.Keywords {
+		if len(kws) > 0 {
+			sets++
+		}
+	}
 	rb := q.Radius
 	if q.Variant == stpq.NearestNeighbor {
 		rb = 0
 	}
-	key := obs.ShapeKey{Alg: alg, Variant: variant, Sim: sim, K: q.K, RBucket: obs.RadiusBucket(rb), Sets: sets}
-	c.tel.Record(ev, key, err == nil)
+	return obs.ShapeKey{Alg: alg, Variant: variant, Sim: sim, K: q.K, RBucket: obs.RadiusBucket(rb), Sets: sets}
+}
+
+// waveWidth is the scatter wave width for one query: the configured
+// parallelism, narrowed to one node per wave once the recorded per-shape
+// cost shows the query is cheap enough that a wide scatter mostly does
+// work the pruning rule would have skipped. Results are unaffected — the
+// strict-inequality prune is width-independent.
+func (c *Coordinator) waveWidth(q stpq.Query) int {
+	cost, samples := c.tel.Shapes.Cost(shapeKeyOf(q))
+	p := plan.Planner{Shapes: c.tel.Shapes}
+	if w := p.FanoutWidth(cost, samples >= obs.MinPredictSamples, len(c.nodes)); w > 0 && w < c.cfg.Parallelism {
+		return w
+	}
+	return c.cfg.Parallelism
 }
 
 // newRequestID mints a request identity in the same format as the serve
@@ -583,9 +609,13 @@ func newRequestID() string {
 // queryEnumNames renders a query's enums with the spelling the engine's
 // own telemetry uses.
 func queryEnumNames(q stpq.Query) (alg, variant, sim string) {
-	alg = "stps"
-	if q.Algorithm == stpq.STDS {
+	switch q.Algorithm {
+	case stpq.STDS:
 		alg = "stds"
+	case stpq.Auto:
+		alg = "auto"
+	default:
+		alg = "stps"
 	}
 	switch q.Variant {
 	case stpq.Influence:

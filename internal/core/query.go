@@ -86,6 +86,12 @@ type Query struct {
 	RequestID string
 	// Trace is the query's explicit tracing decision.
 	Trace TraceMode
+	// Fanout, when positive, caps the sharded engine's scatter wave width
+	// for this query — the planner's cost-based fan-out decision. 0 keeps
+	// the engine default. Results are unaffected at any width: the
+	// between-wave termination rule prunes only strictly out-scored
+	// shards. Not part of the query shape.
+	Fanout int
 }
 
 // Validate checks query parameters against the engine shape.

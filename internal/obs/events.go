@@ -161,11 +161,20 @@ func RadiusBucket(r float64) int {
 }
 
 // String renders the canonical shape label, e.g.
-// "stps|range|jaccard|k=10|r~0.0117|sets=2".
+// "stps|range|jaccard|k=10|r~0.0117|sets=2". It is injective over keys
+// whose Alg/Variant/Sim fields are pipe-free enum names: the rounded radius
+// preview is unambiguous because adjacent buckets differ by a factor of √2
+// (well above the 3-significant-digit resolution), and buckets whose
+// preview would over- or underflow the float range fall back to the exact
+// bucket number.
 func (k ShapeKey) String() string {
 	r := "r=-"
 	if k.RBucket != noRadius {
-		r = "r~" + strconv.FormatFloat(math.Exp2(float64(k.RBucket)/2), 'g', 3, 64)
+		if v := math.Exp2(float64(k.RBucket) / 2); v > 0 && !math.IsInf(v, 1) {
+			r = "r~" + strconv.FormatFloat(v, 'g', 3, 64)
+		} else {
+			r = "r#" + strconv.Itoa(k.RBucket)
+		}
 	}
 	return k.Alg + "|" + k.Variant + "|" + k.Sim +
 		"|k=" + strconv.Itoa(k.K) + "|" + r + "|sets=" + strconv.Itoa(k.Sets)
@@ -284,6 +293,93 @@ func (s *ShapeStats) Predict(k ShapeKey) *ShapePrediction {
 	}
 	p := a.prediction()
 	return &p
+}
+
+// Cost returns the recorded mean total cost of the shape — wall time plus
+// modeled I/O time, the paper's cost metric — and its sample count, both
+// zero for an unobserved shape. It is allocation-free, so planners can
+// consult it on the query hot path. Callers apply their own sample floor
+// (MinPredictSamples) to decide whether the mean is trustworthy. Nil-safe.
+func (s *ShapeStats) Cost(k ShapeKey) (mean time.Duration, samples int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.RLock()
+	a := s.m[k]
+	s.mu.RUnlock()
+	if a == nil {
+		return 0, 0
+	}
+	n := a.count.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	return time.Duration((a.duration.Load() + a.ioTime.Load()) / n), n
+}
+
+// ShapeRecord is the serialized form of one shape's raw totals — what
+// Export writes and Import reads, so per-shape statistics survive process
+// restarts and the planner is warm from boot.
+type ShapeRecord struct {
+	Key           ShapeKey `json:"key"`
+	Samples       int64    `json:"samples"`
+	DurationNanos int64    `json:"duration_ns"`
+	IONanos       int64    `json:"io_ns"`
+	LogicalReads  int64    `json:"logical_reads"`
+	PhysicalReads int64    `json:"physical_reads"`
+	Combinations  int64    `json:"combinations"`
+}
+
+// Export snapshots every shape's raw totals, sorted by shape label for a
+// deterministic serialization. Nil-safe.
+func (s *ShapeStats) Export() []ShapeRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]ShapeRecord, 0, len(s.m))
+	for k, a := range s.m {
+		out = append(out, ShapeRecord{
+			Key:           k,
+			Samples:       a.count.Load(),
+			DurationNanos: a.duration.Load(),
+			IONanos:       a.ioTime.Load(),
+			LogicalReads:  a.logical.Load(),
+			PhysicalReads: a.physical.Load(),
+			Combinations:  a.combos.Load(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// Import merges exported records into the table, adding their totals onto
+// whatever the table already holds (so replaying a snapshot over live
+// statistics never loses either side). Records with no samples are
+// skipped. Nil-safe.
+func (s *ShapeStats) Import(recs []ShapeRecord) {
+	if s == nil {
+		return
+	}
+	for _, r := range recs {
+		if r.Samples <= 0 {
+			continue
+		}
+		s.mu.Lock()
+		a := s.m[r.Key]
+		if a == nil {
+			a = &shapeAgg{name: r.Key.String()}
+			s.m[r.Key] = a
+		}
+		s.mu.Unlock()
+		a.count.Add(r.Samples)
+		a.duration.Add(r.DurationNanos)
+		a.ioTime.Add(r.IONanos)
+		a.logical.Add(r.LogicalReads)
+		a.physical.Add(r.PhysicalReads)
+		a.combos.Add(r.Combinations)
+	}
 }
 
 // Rows returns every observed shape's profile, most-queried first (ties by

@@ -1,0 +1,162 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stpq/internal/obs"
+)
+
+// warm records n executions of key at the given wall cost.
+func warm(s *obs.ShapeStats, key obs.ShapeKey, alg string, n int, wall time.Duration) {
+	key.Alg = alg
+	for i := 0; i < n; i++ {
+		s.Observe(key, wall, 0, 0, 0, 0)
+	}
+}
+
+func testKey() obs.ShapeKey {
+	return obs.ShapeKey{Alg: "", Variant: "range", Sim: "jaccard", K: 10, RBucket: obs.RadiusBucket(0.01), Sets: 2}
+}
+
+func TestResolveForcedPassesThrough(t *testing.T) {
+	p := Planner{} // zero planner: nil stats
+	for _, forced := range []string{AlgSTPS, AlgSTDS} {
+		alg, cost, known := p.Resolve(testKey(), forced)
+		if alg != forced {
+			t.Fatalf("forced %q resolved to %q", forced, alg)
+		}
+		if known || cost != 0 {
+			t.Fatalf("forced %q on cold stats: cost %v known %v, want unknown", forced, cost, known)
+		}
+	}
+}
+
+func TestResolveColdDefaultsToSTPS(t *testing.T) {
+	p := Planner{Shapes: obs.NewShapeStats()}
+	alg, _, known := p.Resolve(testKey(), "")
+	if alg != AlgSTPS || known {
+		t.Fatalf("cold auto: got %q known=%v, want stps unknown", alg, known)
+	}
+}
+
+func TestResolveOneSidedStaysOnDefault(t *testing.T) {
+	// Only STDS warm: the planner must not flip to it without evidence
+	// about STPS — Auto on a half-cold shape behaves like the old system.
+	s := obs.NewShapeStats()
+	warm(s, testKey(), AlgSTDS, int(obs.MinPredictSamples), time.Millisecond)
+	p := Planner{Shapes: s}
+	if alg, _, _ := p.Resolve(testKey(), ""); alg != AlgSTPS {
+		t.Fatalf("half-cold auto chose %q, want stps", alg)
+	}
+	// Only STPS warm: same choice, but now with a known cost.
+	s2 := obs.NewShapeStats()
+	warm(s2, testKey(), AlgSTPS, int(obs.MinPredictSamples), 2*time.Millisecond)
+	p2 := Planner{Shapes: s2}
+	alg, cost, known := p2.Resolve(testKey(), "")
+	if alg != AlgSTPS || !known || cost != 2*time.Millisecond {
+		t.Fatalf("stps-warm auto: got %q cost %v known %v", alg, cost, known)
+	}
+}
+
+func TestResolveWarmPicksCheaper(t *testing.T) {
+	s := obs.NewShapeStats()
+	warm(s, testKey(), AlgSTDS, int(obs.MinPredictSamples), time.Millisecond)
+	warm(s, testKey(), AlgSTPS, int(obs.MinPredictSamples), 4*time.Millisecond)
+	p := Planner{Shapes: s}
+	alg, cost, known := p.Resolve(testKey(), "")
+	if alg != AlgSTDS || !known || cost != time.Millisecond {
+		t.Fatalf("got %q cost %v known %v, want stds 1ms known", alg, cost, known)
+	}
+	// Flip the costs: the choice must flip too.
+	s2 := obs.NewShapeStats()
+	warm(s2, testKey(), AlgSTDS, int(obs.MinPredictSamples), 4*time.Millisecond)
+	warm(s2, testKey(), AlgSTPS, int(obs.MinPredictSamples), time.Millisecond)
+	p2 := Planner{Shapes: s2}
+	if alg, _, _ := p2.Resolve(testKey(), ""); alg != AlgSTPS {
+		t.Fatalf("flipped costs chose %q, want stps", alg)
+	}
+}
+
+func TestResolveTieGoesToSTPS(t *testing.T) {
+	s := obs.NewShapeStats()
+	warm(s, testKey(), AlgSTDS, int(obs.MinPredictSamples), time.Millisecond)
+	warm(s, testKey(), AlgSTPS, int(obs.MinPredictSamples), time.Millisecond)
+	p := Planner{Shapes: s}
+	if alg, _, _ := p.Resolve(testKey(), ""); alg != AlgSTPS {
+		t.Fatalf("tie chose %q, want stps", alg)
+	}
+}
+
+func TestResolveRespectsMinSamplesOverride(t *testing.T) {
+	s := obs.NewShapeStats()
+	warm(s, testKey(), AlgSTDS, 1, time.Millisecond)
+	warm(s, testKey(), AlgSTPS, 1, 4*time.Millisecond)
+	p := Planner{Shapes: s, MinSamples: 1}
+	if alg, _, _ := p.Resolve(testKey(), ""); alg != AlgSTDS {
+		t.Fatal("MinSamples=1 should trust single-sample means")
+	}
+	p2 := Planner{Shapes: s} // default floor: still cold
+	if alg, _, _ := p2.Resolve(testKey(), ""); alg != AlgSTPS {
+		t.Fatal("default floor must not trust single samples")
+	}
+}
+
+func TestDecideAuditTrail(t *testing.T) {
+	s := obs.NewShapeStats()
+	warm(s, testKey(), AlgSTDS, int(obs.MinPredictSamples), time.Millisecond)
+	warm(s, testKey(), AlgSTPS, int(obs.MinPredictSamples), 4*time.Millisecond)
+	p := Planner{Shapes: s}
+
+	d := p.Decide(testKey(), "")
+	if d.Algorithm != AlgSTDS || d.Forced || d.Fallback || !d.CostKnown {
+		t.Fatalf("warm auto decision: %+v", d)
+	}
+	if len(d.Candidates) != 2 || d.Candidates[0].Algorithm != AlgSTDS {
+		t.Fatalf("candidates: %+v (chosen must lead)", d.Candidates)
+	}
+	if !strings.Contains(d.Reason, "beats") {
+		t.Fatalf("warm reason %q", d.Reason)
+	}
+
+	f := p.Decide(testKey(), AlgSTPS)
+	if f.Algorithm != AlgSTPS || !f.Forced || f.Fallback {
+		t.Fatalf("forced decision: %+v", f)
+	}
+
+	coldP := Planner{Shapes: obs.NewShapeStats()}
+	cold := coldP.Decide(testKey(), "")
+	if cold.Algorithm != AlgSTPS || !cold.Fallback || cold.CostKnown {
+		t.Fatalf("cold decision: %+v", cold)
+	}
+	if !strings.Contains(cold.Reason, "cold start") {
+		t.Fatalf("cold reason %q", cold.Reason)
+	}
+}
+
+func TestFanoutWidth(t *testing.T) {
+	p := Planner{}
+	cases := []struct {
+		cost   time.Duration
+		known  bool
+		shards int
+		want   int
+	}{
+		{time.Millisecond, true, 4, 1},        // warm and cheap: serialize
+		{DefaultCheapLatency, true, 4, 1},     // boundary is inclusive
+		{DefaultCheapLatency + 1, true, 4, 0}, // expensive: engine default
+		{time.Millisecond, false, 4, 0},       // cold: engine default
+		{time.Millisecond, true, 1, 0},        // unsharded: no decision
+		{time.Millisecond, true, 0, 0},
+	}
+	for _, c := range cases {
+		if got := p.FanoutWidth(c.cost, c.known, c.shards); got != c.want {
+			t.Errorf("FanoutWidth(%v, %v, %d) = %d, want %d", c.cost, c.known, c.shards, got, c.want)
+		}
+	}
+	narrow := Planner{CheapLatency: time.Microsecond}
+	if got := narrow.FanoutWidth(time.Millisecond, true, 4); got != 0 {
+		t.Errorf("CheapLatency override ignored: got %d", got)
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+// admission_test.go covers the cost-aware admission path: queries are only
+// shed when their shape's predicted cost is warm AND the summed in-flight
+// predicted cost would blow the configured budget; cold shapes always fall
+// back to queue-only admission, the budget drains back to zero, and the
+// shed is observable in /metrics with a per-shape label.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"stpq"
+)
+
+// warmShape runs the query enough times (cache-bypassing via Do on a
+// cache-disabled service) that its shape prediction is warm.
+func warmShape(t *testing.T, svc *Service, q stpq.Query) {
+	t.Helper()
+	for i := 0; i < stpq.MinPredictSamples; i++ {
+		if _, err := svc.Do(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdmissionColdShapeNotShed(t *testing.T) {
+	db := testDB(t, stpq.Config{}, 200, 200)
+	svc, err := New(db, Config{Workers: 1, CacheEntries: -1, MaxInflightCost: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Budget of 1ns would shed anything with a known cost — but the shape
+	// is cold, so admission must fall back to queue-only and succeed.
+	if _, err := svc.Do(context.Background(), testQuery(3)); err != nil {
+		t.Fatalf("cold shape shed: %v", err)
+	}
+}
+
+func TestAdmissionShedsWarmShapeOverBudget(t *testing.T) {
+	db := testDB(t, stpq.Config{}, 200, 200)
+	svc, err := New(db, Config{Workers: 1, CacheEntries: -1, MaxInflightCost: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	q := testQuery(3)
+	warmShape(t, svc, q)
+	// Pretend another expensive query is in flight: any warm-shape arrival
+	// must now be shed with the distinct sentinel.
+	svc.inflightCost.Add(int64(time.Second))
+	defer svc.inflightCost.Add(-int64(time.Second))
+	_, err = svc.Do(context.Background(), q)
+	if !errors.Is(err, ErrShedExpensive) {
+		t.Fatalf("got %v, want ErrShedExpensive", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("cost shed must be distinguishable from queue-full")
+	}
+	if got := reasonOf(err); got != "shed-expensive-cost" {
+		t.Fatalf("reasonOf = %q", got)
+	}
+	// The shed must be visible in the metrics text, with a per-shape label.
+	var sb strings.Builder
+	if err := svc.metrics.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `stpq_serve_rejected_total{reason="expensive"} 1`) {
+		t.Fatalf("rejected counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, `stpq_serve_shed_total{shape=`) {
+		t.Fatalf("per-shape shed counter missing:\n%s", text)
+	}
+}
+
+func TestAdmissionNeverStarves(t *testing.T) {
+	// Even when one query's predicted cost alone exceeds the budget, it must
+	// be admitted while nothing else is in flight — otherwise an over-budget
+	// shape could never run again and its statistics could never improve.
+	db := testDB(t, stpq.Config{}, 200, 200)
+	svc, err := New(db, Config{Workers: 1, CacheEntries: -1, MaxInflightCost: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	q := testQuery(3)
+	warmShape(t, svc, q)
+	if _, err := svc.Do(context.Background(), q); err != nil {
+		t.Fatalf("sole over-budget query rejected: %v", err)
+	}
+}
+
+func TestAdmissionBudgetDrains(t *testing.T) {
+	db := testDB(t, stpq.Config{}, 200, 200)
+	svc, err := New(db, Config{Workers: 2, CacheEntries: -1, MaxInflightCost: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	q := testQuery(3)
+	warmShape(t, svc, q)
+	for i := 0; i < 8; i++ {
+		if _, err := svc.Do(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Do is synchronous: by the time it returns, the worker released the
+	// reservation. A leak here would ratchet the budget shut over time.
+	if in := svc.inflightCost.Load(); in != 0 {
+		t.Fatalf("in-flight cost did not drain: %d", in)
+	}
+}
+
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	db := testDB(t, stpq.Config{}, 200, 200)
+	svc, err := New(db, Config{Workers: 1, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	q := testQuery(3)
+	warmShape(t, svc, q)
+	svc.inflightCost.Add(int64(time.Hour))
+	defer svc.inflightCost.Add(-int64(time.Hour))
+	if _, err := svc.Do(context.Background(), q); err != nil {
+		t.Fatalf("admission active without MaxInflightCost: %v", err)
+	}
+}

@@ -39,7 +39,7 @@ type QueryRequest struct {
 	Lambda     float64             `json:"lambda"`
 	Keywords   map[string][]string `json:"keywords"`
 	Variant    string              `json:"variant,omitempty"`    // range | influence | nn
-	Algorithm  string              `json:"algorithm,omitempty"`  // stps | stds
+	Algorithm  string              `json:"algorithm,omitempty"`  // stps | stds | auto
 	Similarity string              `json:"similarity,omitempty"` // jaccard | dice | cosine | overlap
 	// Trace forces full span collection for this query (bypassing the
 	// result cache); the span tree comes back in stats.trace.
@@ -68,6 +68,8 @@ func (r QueryRequest) Query() (stpq.Query, error) {
 		q.Algorithm = stpq.STPS
 	case "stds":
 		q.Algorithm = stpq.STDS
+	case "auto":
+		q.Algorithm = stpq.Auto
 	default:
 		return q, fmt.Errorf("%w: unknown algorithm %q", stpq.ErrInvalidQuery, r.Algorithm)
 	}
@@ -126,6 +128,10 @@ type QueryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Reason is the machine-readable rejection class ("queue-full",
+	// "shed-expensive-cost", "deadline"), so load generators can break
+	// down non-2xx responses without parsing error prose.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Handler returns the service's HTTP mux.
@@ -160,6 +166,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusOf(err), err.Error())
 		return
 	}
+	// An unspecified algorithm takes the server's default (-plan flag on
+	// stpqd); an explicit "stps"/"stds"/"auto" always wins.
+	if req.Algorithm == "" {
+		q.Algorithm = s.cfg.DefaultAlgorithm
+	}
 	// Honor an inbound request ID (proxies, retries), generate one
 	// otherwise, and echo it so the caller can join the response to
 	// /debug/queries and the span tree.
@@ -183,7 +194,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp, err := s.Do(r.Context(), q)
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
+		writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Reason: reasonOf(err)})
 		return
 	}
 	out := QueryResponse{
@@ -217,7 +228,7 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, stpq.ErrInvalidQuery):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrShedExpensive), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDeadline):
 		return http.StatusGatewayTimeout
@@ -225,6 +236,22 @@ func statusOf(err error) int {
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// reasonOf classifies rejection errors for the errorResponse Reason field.
+// Both overload rejections are 429s; the reason is how clients tell the
+// queue-depth limit apart from the cost-based shed.
+func reasonOf(err error) string {
+	switch {
+	case errors.Is(err, ErrShedExpensive):
+		return "shed-expensive-cost"
+	case errors.Is(err, ErrOverloaded):
+		return "queue-full"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	default:
+		return ""
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stpq"
@@ -28,6 +29,12 @@ import (
 var (
 	// ErrOverloaded is returned when the admission queue is full.
 	ErrOverloaded = errors.New("serve: overloaded, query queue full")
+	// ErrShedExpensive is returned by cost-aware admission
+	// (Config.MaxInflightCost): the query's predicted cost does not fit
+	// the in-flight cost budget, so the expensive tail is shed instead of
+	// rejecting uniformly at random when the queue fills. Cheap queries
+	// keep flowing.
+	ErrShedExpensive = errors.New("serve: overloaded, predicted query cost over budget")
 	// ErrDeadline is returned when a query's deadline expires before a
 	// worker finishes it (including time spent waiting in the queue).
 	ErrDeadline = errors.New("serve: query deadline exceeded")
@@ -55,6 +62,19 @@ type Config struct {
 	// span tree into its response and event record. Sampled queries bypass
 	// the result cache so the trace reflects a real execution.
 	TraceSample float64
+	// DefaultAlgorithm is applied to HTTP queries that do not spell an
+	// algorithm (stpqd -plan). The zero value keeps STPS, the historical
+	// default; stpq.Auto hands the choice to the cost-based planner.
+	DefaultAlgorithm stpq.Algorithm
+	// MaxInflightCost, when positive, caps the summed planner-predicted
+	// cost of admitted-but-unfinished queries: a query whose shape is warm
+	// (≥ MinPredictSamples executions) and whose predicted cost would push
+	// the in-flight sum over the cap is shed with ErrShedExpensive — the
+	// expensive tail yields instead of random queue-full 429s. Queries
+	// with cold shapes (and all queries when the budget is idle) fall back
+	// to queue-only admission, so a cold process behaves exactly as
+	// before. 0 disables cost-aware admission.
+	MaxInflightCost time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,12 +118,17 @@ type Service struct {
 	sendMu sync.RWMutex // guards closed + sends on tasks vs. Close
 	closed bool
 
+	// inflightCost is the summed predicted cost (nanoseconds) of admitted
+	// tasks that have not finished — the cost-aware admission budget.
+	inflightCost atomic.Int64
+
 	metrics  *obs.Registry
 	hits     *obs.Counter // stpq_serve_cache_hits_total
 	misses   *obs.Counter // stpq_serve_cache_misses_total
 	queries  *obs.Counter
 	ingests  *obs.Counter // stpq_serve_ingested_total (mutations via /ingest)
 	overload *obs.Counter
+	shed     *obs.Counter // stpq_serve_rejected_total{reason="expensive"}
 	deadline *obs.Counter
 	latency  *obs.Histogram
 }
@@ -113,6 +138,9 @@ type task struct {
 	snap *stpq.Snapshot
 	q    stpq.Query
 	fp   string
+	// cost is the predicted cost reserved against the in-flight budget at
+	// admission; the worker releases it when the task leaves the system.
+	cost time.Duration
 	done chan taskResult
 }
 
@@ -151,6 +179,7 @@ func newUnstarted(db *stpq.DB, cfg Config) (*Service, error) {
 		queries:  reg.Counter("stpq_serve_queries_total"),
 		ingests:  reg.Counter("stpq_serve_ingested_total"),
 		overload: reg.Counter("stpq_serve_rejected_total{reason=\"overload\"}"),
+		shed:     reg.Counter("stpq_serve_rejected_total{reason=\"expensive\"}"),
 		deadline: reg.Counter("stpq_serve_rejected_total{reason=\"deadline\"}"),
 		latency:  reg.Histogram("stpq_serve_latency_seconds", obs.LatencyBuckets),
 	}
@@ -239,7 +268,11 @@ func (s *Service) Do(ctx context.Context, q stpq.Query) (Response, error) {
 		s.misses.Inc()
 	}
 	t := &task{ctx: ctx, snap: snap, q: q, fp: fp, done: make(chan taskResult, 1)}
+	if err := s.admitCost(t); err != nil {
+		return Response{}, err
+	}
 	if err := s.enqueue(t); err != nil {
+		s.releaseCost(t)
 		return Response{}, err
 	}
 	select {
@@ -259,6 +292,37 @@ func (s *Service) deadlineError(ctx context.Context) error {
 		return ctx.Err()
 	}
 	return ErrDeadline
+}
+
+// admitCost applies cost-aware admission: the planner-predicted cost of
+// the query's shape is checked against — and, when admitted, reserved from
+// — the in-flight cost budget. Queries whose shape is cold predict no cost
+// and always pass (deterministic fallback to queue-only admission), and a
+// warm query is never shed against an idle budget, so an over-cap query
+// still makes progress one at a time instead of starving.
+func (s *Service) admitCost(t *task) error {
+	if s.cfg.MaxInflightCost <= 0 {
+		return nil
+	}
+	shape, cost, known, err := t.snap.PredictCost(t.q)
+	if err != nil || !known {
+		return nil // validation errors surface from TopK; cold shapes pass
+	}
+	if in := s.inflightCost.Load(); in > 0 && in+int64(cost) > int64(s.cfg.MaxInflightCost) {
+		s.shed.Inc()
+		s.metrics.Counter(fmt.Sprintf("stpq_serve_shed_total{shape=%q}", shape)).Inc()
+		return ErrShedExpensive
+	}
+	t.cost = cost
+	s.inflightCost.Add(int64(cost))
+	return nil
+}
+
+// releaseCost returns a task's reserved cost to the budget.
+func (s *Service) releaseCost(t *task) {
+	if t.cost > 0 {
+		s.inflightCost.Add(-int64(t.cost))
+	}
 }
 
 // enqueue admits a task without blocking; a full queue is an overload.
@@ -283,12 +347,16 @@ func (s *Service) worker() {
 	for t := range s.tasks {
 		// A task whose waiter already gave up (deadline hit while
 		// queued) is skipped; the engine itself is not interruptible,
-		// so a query that starts executing runs to completion.
+		// so a query that starts executing runs to completion. Either
+		// way the task's reserved cost returns to the budget here —
+		// including during the Close drain.
 		if t.ctx.Err() != nil {
+			s.releaseCost(t)
 			t.done <- taskResult{err: s.deadlineError(t.ctx)}
 			continue
 		}
 		res, st, err := t.snap.TopK(t.q)
+		s.releaseCost(t)
 		if err != nil {
 			t.done <- taskResult{err: err}
 			continue

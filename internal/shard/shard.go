@@ -248,7 +248,13 @@ type cand struct {
 }
 
 // orderShards computes every shard's upper bound for the query and sorts
-// descending (ties by shard id) — the scatter wave order.
+// the scatter wave order: bound descending (required by the pruning rule —
+// the loop terminates against the maximum remaining bound, which sorting
+// makes the next candidate), then per-shard object count ascending as a
+// cost-aware tie-break (equal-bound shards are interchangeable for
+// pruning, so the cheaper one goes first and may render the heavier one
+// prunable), then shard id. Only the bound-descending primary key affects
+// results; the tie-breaks affect cost alone.
 func (e *Engine) orderShards(q *core.Query) ([]cand, error) {
 	cands := make([]cand, len(e.shards))
 	for i, s := range e.shards {
@@ -261,6 +267,9 @@ func (e *Engine) orderShards(q *core.Query) ([]cand, error) {
 	sort.SliceStable(cands, func(i, j int) bool {
 		if cands[i].bound != cands[j].bound {
 			return cands[i].bound > cands[j].bound
+		}
+		if cands[i].sub.count != cands[j].sub.count {
+			return cands[i].sub.count < cands[j].sub.count
 		}
 		return cands[i].sub.id < cands[j].sub.id
 	})
@@ -360,7 +369,13 @@ func (e *Engine) run(alg string, q core.Query) ([]core.Result, core.Stats, error
 		sq.Trace = core.TraceOff
 	}
 
+	// The planner may cap the wave width per query (core.Query.Fanout):
+	// narrower waves evaluate the termination rule more often, wider ones
+	// overlap more. The queried set changes, the merged results never do.
 	par := e.Parallelism()
+	if q.Fanout > 0 && q.Fanout < par {
+		par = q.Fanout
+	}
 	var (
 		merged  []core.Result
 		total   core.Stats

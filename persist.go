@@ -11,6 +11,7 @@ import (
 	"stpq/internal/core"
 	"stpq/internal/index"
 	"stpq/internal/ingest"
+	"stpq/internal/obs"
 	"stpq/internal/shard"
 )
 
@@ -28,6 +29,54 @@ type dbManifest struct {
 }
 
 const manifestName = "stpq.json"
+
+// shapesName is the serialized per-shape cost statistics alongside a saved
+// DB: the planner's and EXPLAIN's memory, reloaded on Open so predictions
+// are warm from boot instead of cold for the first MinPredictSamples
+// queries of every shape.
+const shapesName = "shapes.json"
+
+// SaveShapes writes the DB's per-shape cost statistics to dir (created if
+// needed). Save and Checkpoint call it automatically; cmd/stpqd also calls
+// it on graceful shutdown so a restart keeps the planner warm. Safe to
+// call concurrently with queries — the statistics table is lock-protected
+// and never replaced after New.
+func (db *DB) SaveShapes(dir string) error {
+	recs := db.tel.Shapes.Export()
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("stpq: save shapes: %w", err)
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stpq: save shapes: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, shapesName), data, 0o644); err != nil {
+		return fmt.Errorf("stpq: save shapes: %w", err)
+	}
+	return nil
+}
+
+// loadShapes merges a saved shape-statistics file into the DB's table. A
+// missing file is not an error (older snapshots have none); a corrupt one
+// is — silently dropping the planner's memory would be invisible.
+func (db *DB) loadShapes(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, shapesName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("stpq: load shapes: %w", err)
+	}
+	var recs []obs.ShapeRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("stpq: load shapes: %w", err)
+	}
+	db.tel.Shapes.Import(recs)
+	return nil
+}
 
 // Save writes the built DB to a directory: one page dump per index plus a
 // JSON manifest. Sharded DBs persist their sub-engines and partitioning
@@ -83,7 +132,7 @@ func (db *DB) Save(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
 		return fmt.Errorf("stpq: save manifest: %w", err)
 	}
-	return nil
+	return db.SaveShapes(dir)
 }
 
 // saveShardedLocked persists a sharded DB: the top-level manifest carries
@@ -112,7 +161,10 @@ func (db *DB) saveShardedLocked(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
 		return fmt.Errorf("stpq: save manifest: %w", err)
 	}
-	return eng.Save(dir)
+	if err := eng.Save(dir); err != nil {
+		return err
+	}
+	return db.SaveShapes(dir)
 }
 
 // openSharded restores a DB saved by saveShardedLocked.
@@ -157,6 +209,9 @@ func openSharded(dir string, man dbManifest) (*DB, error) {
 	db.gen = 1
 	db.walSeq = man.AppliedSeq
 	db.appliedSeq = man.AppliedSeq
+	if err := db.loadShapes(dir); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -233,6 +288,9 @@ func Open(dir string) (*DB, error) {
 	db.gen = 1
 	db.walSeq = man.AppliedSeq
 	db.appliedSeq = man.AppliedSeq
+	if err := db.loadShapes(dir); err != nil {
+		return nil, err
+	}
 	if man.Config.WALDir != "" {
 		if _, err := db.AttachWAL(man.Config.WALDir); err != nil {
 			return nil, err

@@ -115,3 +115,72 @@ func TestOpenedDBIsQueryOnly(t *testing.T) {
 		t.Error("Build on an opened DB must fail")
 	}
 }
+
+// TestShapeStatsSurviveRestart pins the planner's persistent memory: a DB
+// that has recorded per-shape statistics saves them alongside the indexes,
+// and the reopened DB predicts — and plans — from them immediately instead
+// of re-learning every shape from scratch.
+func TestShapeStatsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	db := paperDB(t, Config{})
+	q := paperQuery(4, STPS)
+	for i := 0; i < MinPredictSamples; i++ {
+		if _, _, err := db.TopK(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shapes.json")); err != nil {
+		t.Fatalf("shapes.json not saved: %v", err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := reopened.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Predicted == nil || ex.Samples < int64(MinPredictSamples) {
+		t.Fatalf("reopened DB is cold: predicted %v, %d samples", ex.Predicted, ex.Samples)
+	}
+	// The statistics must match what the original process recorded.
+	origEx, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *ex.Predicted != *origEx.Predicted {
+		t.Fatalf("prediction drifted across restart:\nreopened %+v\noriginal %+v", *ex.Predicted, *origEx.Predicted)
+	}
+}
+
+// TestShapeStatsCorruptFileRejected: a corrupt shapes.json must fail Open
+// loudly — silently dropping the planner's memory would be invisible.
+func TestShapeStatsCorruptFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	db := paperDB(t, Config{})
+	q := paperQuery(4, STPS)
+	for i := 0; i < MinPredictSamples; i++ {
+		if _, _, err := db.TopK(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shapes.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt shapes.json")
+	}
+	// A missing file is fine (older snapshots have none).
+	if err := os.Remove(filepath.Join(dir, "shapes.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("Open rejected a snapshot without shapes.json: %v", err)
+	}
+}

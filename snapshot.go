@@ -20,6 +20,7 @@ import (
 	"stpq/internal/index"
 	"stpq/internal/kwset"
 	"stpq/internal/obs"
+	"stpq/internal/plan"
 	"stpq/internal/shard"
 )
 
@@ -79,8 +80,51 @@ func (s *Snapshot) NumFeatures() map[string]int {
 	return out
 }
 
+// forcedAlg maps the public algorithm choice to the planner's forced-
+// algorithm string: "" means Auto (the planner decides).
+func forcedAlg(a Algorithm) string {
+	switch a {
+	case STDS:
+		return plan.AlgSTDS
+	case Auto:
+		return ""
+	default:
+		return plan.AlgSTPS
+	}
+}
+
+// planner returns the cost-based planner over this snapshot's per-shape
+// statistics. The zero planner (nil shapes) is valid and always cold.
+func (s *Snapshot) planner() plan.Planner {
+	p := plan.Planner{}
+	if s.tel != nil {
+		p.Shapes = s.tel.Shapes
+	}
+	return p
+}
+
+// resolve turns the query's algorithm choice (possibly Auto) into the
+// concrete algorithm and applies the planner's fan-out decision to the
+// lowered query. The fast path — a forced algorithm on an unsharded
+// engine — bypasses the planner entirely, so existing callers pay nothing.
+func (s *Snapshot) resolve(q Query, cq *core.Query) string {
+	forced := forcedAlg(q.Algorithm)
+	eng, sharded := s.engine.(*shard.Engine)
+	if forced != "" && !sharded {
+		return forced
+	}
+	p := s.planner()
+	alg, cost, known := p.Resolve(core.QueryShapeKey("", cq), forced)
+	if sharded {
+		cq.Fanout = p.FanoutWidth(cost, known, eng.NumShards())
+	}
+	return alg
+}
+
 // TopK runs the query against the snapshot and returns the k best objects
-// with execution statistics. Safe for concurrent use.
+// with execution statistics. Safe for concurrent use. With Algorithm:
+// Auto, the cost-based planner picks the algorithm from recorded per-shape
+// statistics; results are byte-identical to either forced algorithm.
 func (s *Snapshot) TopK(q Query) ([]Result, Stats, error) {
 	cq, err := s.toCoreQuery(q)
 	if err != nil {
@@ -90,7 +134,7 @@ func (s *Snapshot) TopK(q Query) ([]Result, Stats, error) {
 		res []core.Result
 		st  core.Stats
 	)
-	if q.Algorithm == STDS {
+	if s.resolve(q, &cq) == plan.AlgSTDS {
 		res, st, err = s.engine.STDS(cq)
 	} else {
 		res, st, err = s.engine.STPS(cq)
@@ -168,11 +212,58 @@ func (s *Snapshot) RecordCacheHit(q Query, start time.Time, elapsed time.Duratio
 	if err != nil {
 		return
 	}
-	alg := "stps"
-	if q.Algorithm == STDS {
-		alg = "stds"
+	// Auto queries are attributed to the algorithm the planner would pick,
+	// matching how the cached execution was recorded.
+	core.RecordCacheHit(s.tel, s.resolve(q, &cq), &cq, start, elapsed)
+}
+
+// PredictCost resolves the query through the planner and returns the
+// canonical shape label of the resolved plan plus its predicted mean total
+// cost. known is false — and cost zero — while the resolved shape has
+// fewer than MinPredictSamples recorded executions; the serve layer's
+// cost-aware admission then falls back to queue-only admission.
+func (s *Snapshot) PredictCost(q Query) (shape string, cost time.Duration, known bool, err error) {
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return "", 0, false, err
 	}
-	core.RecordCacheHit(s.tel, alg, &cq, start, elapsed)
+	p := s.planner()
+	key := core.QueryShapeKey("", &cq)
+	alg, cost, known := p.Resolve(key, forcedAlg(q.Algorithm))
+	key.Alg = alg
+	if s.tel != nil {
+		shape = s.tel.Shapes.Name(key)
+	} else {
+		shape = key.String()
+	}
+	if !known {
+		cost = 0
+	}
+	return shape, cost, known, nil
+}
+
+// PlanQuery reports the planner's full decision for the query — chosen
+// algorithm, reason, predicted cost, the alternatives considered and the
+// scatter fan-out width — without executing it. DB.Explain embeds the same
+// decision.
+func (s *Snapshot) PlanQuery(q Query) (*PlanDecision, error) {
+	cq, err := s.toCoreQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	d := s.decide(q, &cq)
+	pd := fromPlanDecision(d)
+	return &pd, nil
+}
+
+// decide computes the full planner decision for a validated query.
+func (s *Snapshot) decide(q Query, cq *core.Query) plan.Decision {
+	p := s.planner()
+	d := p.Decide(core.QueryShapeKey("", cq), forcedAlg(q.Algorithm))
+	if eng, ok := s.engine.(*shard.Engine); ok {
+		d.Fanout = p.FanoutWidth(d.Cost, d.CostKnown, eng.NumShards())
+	}
+	return d
 }
 
 // Rebuild reconstructs the indexes from the raw objects and feature sets —

@@ -126,6 +126,12 @@ const (
 	// STDS (Spatio-Textual Data Scan) scores every data object; the
 	// paper's baseline.
 	STDS
+	// Auto delegates the choice to the cost-based planner: the recorded
+	// per-shape statistics decide STDS vs. STPS per query, falling back
+	// deterministically to STPS while the query's shape has fewer than
+	// MinPredictSamples recorded executions under either algorithm.
+	// Results are identical to both forced algorithms.
+	Auto
 )
 
 // Config tunes storage and algorithm behaviour.

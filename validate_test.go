@@ -1,0 +1,64 @@
+package stpq
+
+// validate_test.go pins ValidateQuery's sentinel behavior table-driven: each
+// rejected query must wrap the exact sentinel error so callers can branch
+// with errors.Is, and every enum — including the planner's Auto — must
+// accept exactly its defined range.
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateQueryTable(t *testing.T) {
+	sets := []string{"food", "cafes"}
+	valid := Query{
+		K: 5, Radius: 0.1, Lambda: 0.5,
+		Keywords: map[string][]string{"food": {"pizza"}},
+	}
+	mod := func(f func(*Query)) Query {
+		q := valid
+		f(&q)
+		return q
+	}
+	cases := []struct {
+		name string
+		q    Query
+		want error // nil = must validate
+	}{
+		{"valid default", valid, nil},
+		{"valid stds", mod(func(q *Query) { q.Algorithm = STDS }), nil},
+		{"valid auto", mod(func(q *Query) { q.Algorithm = Auto }), nil},
+		{"valid nn zero radius", mod(func(q *Query) { q.Variant = NearestNeighbor; q.Radius = 0 }), nil},
+		{"valid overlap sim", mod(func(q *Query) { q.Similarity = OverlapSim }), nil},
+		{"zero k", mod(func(q *Query) { q.K = 0 }), ErrInvalidQuery},
+		{"negative k", mod(func(q *Query) { q.K = -1 }), ErrInvalidQuery},
+		{"variant below range", mod(func(q *Query) { q.Variant = Variant(-1) }), ErrInvalidQuery},
+		{"variant past nn", mod(func(q *Query) { q.Variant = NearestNeighbor + 1 }), ErrInvalidQuery},
+		{"algorithm below stps", mod(func(q *Query) { q.Algorithm = Algorithm(-1) }), ErrInvalidQuery},
+		{"algorithm past auto", mod(func(q *Query) { q.Algorithm = Auto + 1 }), ErrInvalidQuery},
+		{"algorithm 9", mod(func(q *Query) { q.Algorithm = Algorithm(9) }), ErrInvalidQuery},
+		{"similarity past overlap", mod(func(q *Query) { q.Similarity = OverlapSim + 1 }), ErrInvalidQuery},
+		{"negative radius", mod(func(q *Query) { q.Radius = -0.1 }), ErrInvalidQuery},
+		{"zero radius non-nn", mod(func(q *Query) { q.Radius = 0 }), ErrInvalidQuery},
+		{"lambda below 0", mod(func(q *Query) { q.Lambda = -0.1 }), ErrInvalidQuery},
+		{"lambda above 1", mod(func(q *Query) { q.Lambda = 1.1 }), ErrInvalidQuery},
+		{"unknown feature set", mod(func(q *Query) {
+			q.Keywords = map[string][]string{"bars": {"beer"}}
+		}), ErrUnknownFeatureSet},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateQuery(c.q, sets)
+			if c.want == nil {
+				if err != nil {
+					t.Fatalf("ValidateQuery: unexpected error %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("ValidateQuery: got %v, want sentinel %v", err, c.want)
+			}
+		})
+	}
+}
