@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint cover bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke cluster-smoke plan-smoke check
+.PHONY: build test race vet lint cover bench-smoke bench-compare alloc-regression serve-smoke ingest-smoke compaction-smoke cluster-smoke plan-smoke check
 
 build:
 	$(GO) build ./...
@@ -120,6 +120,51 @@ ingest-smoke:
 	curl -fsS http://$(INGEST_ADDR)/metrics | grep -q 'stpq_ingest_replayed_total 5$$' && \
 	echo "ingest-smoke: all 5 acknowledged mutations replayed after SIGKILL" && \
 	/tmp/stpqload-smoke -addr http://$(INGEST_ADDR) -c 2 -n 60 -k 5 -write-frac 0.3 && \
+	kill -INT $$pid && wait $$pid
+
+# Incremental-compaction smoke test: a WAL-backed stpqd with background
+# compaction, a tiny auto-flush threshold and auto-checkpointing takes a
+# sustained mixed read/write load; the run must show sealed runs merging
+# off the write path (partial merges or completed compactions in /metrics)
+# and an automatic checkpoint landing on disk. The daemon is then
+# SIGKILLed and restarted from the checkpoint directory: the manifest's
+# WAL position replays only the tail, and queries keep answering.
+COMPACT_ADDR ?= 127.0.0.1:18323
+COMPACT_WAL := /tmp/stpq-compaction-smoke-wal
+COMPACT_CKPT := /tmp/stpq-compaction-smoke-ckpt
+compaction-smoke:
+	$(GO) build -o /tmp/stpqd-smoke ./cmd/stpqd
+	$(GO) build -o /tmp/stpqload-smoke ./cmd/stpqload
+	rm -rf $(COMPACT_WAL) $(COMPACT_CKPT)
+	mkdir -p $(COMPACT_CKPT)
+	/tmp/stpqd-smoke -synthetic -objects 2000 -features 2000 -wal-dir $(COMPACT_WAL) \
+		-auto-flush-ops 64 -background-compaction -compact-runs 1 \
+		-checkpoint-every-ops 300 -checkpoint-dir $(COMPACT_CKPT) -addr $(COMPACT_ADDR) & \
+	pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://$(COMPACT_ADDR)/healthz >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	/tmp/stpqload-smoke -addr http://$(COMPACT_ADDR) -c 4 -n 600 -k 5 -write-frac 0.5 && \
+	for i in $$(seq 1 50); do \
+		if [ -f $(COMPACT_CKPT)/stpq.json ]; then break; fi; \
+		sleep 0.2; \
+	done; \
+	test -f $(COMPACT_CKPT)/stpq.json && \
+	curl -fsS http://$(COMPACT_ADDR)/metrics | grep -E 'stpq_ingest_(partial_merges|compactions)_total [1-9]' && \
+	curl -fsS http://$(COMPACT_ADDR)/info | grep -q '"walAttached":true' && \
+	echo "compaction-smoke: runs merged off the write path, auto-checkpoint landed" && \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	/tmp/stpqd-smoke -open $(COMPACT_CKPT) -addr $(COMPACT_ADDR) & \
+	pid=$$!; \
+	trap 'kill -INT $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://$(COMPACT_ADDR)/healthz >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://$(COMPACT_ADDR)/query -d '{"k":5,"radius":0.05,"keywords":{"set1":["kw1","kw2"],"set2":["kw3"]}}' | grep -q '"results"' && \
+	echo "compaction-smoke: recovered from checkpoint + WAL tail after SIGKILL" && \
 	kill -INT $$pid && wait $$pid
 
 # Distributed-mode smoke test: partition one synthetic dataset across 3

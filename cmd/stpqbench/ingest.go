@@ -43,6 +43,7 @@ func (b *bench) ingestExp() {
 	for _, frac := range []float64{0, 0.1, 0.5} {
 		recs = append(recs, b.ingestPoint(ds, frac)...)
 	}
+	recs = append(recs, b.ingestSweep(ds)...)
 	if err := writeRecords(ingestBenchFile, recs); err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func (b *bench) ingestPoint(ds *datagen.Dataset, frac float64) []Record {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(walDir)
-	db := ingestDB(ds, walDir, b.buffer)
+	db := ingestDB(ds, walDir, b.buffer, nil)
 	rng := rand.New(rand.NewSource(b.seed))
 	var (
 		reads    []core.Stats
@@ -116,10 +117,115 @@ func (b *bench) ingestPoint(ds *datagen.Dataset, frac float64) []Record {
 	return recs
 }
 
+// ingestSweep is the sustained-write comparison behind the incremental-
+// compaction work: the same write-heavy workload driven through each merge
+// strategy on a fresh DB. AutoFlushOps is set low enough that every mode
+// merges many times during the sweep, so the per-batch Apply latency
+// distribution exposes the merge stall directly — under MergeRebuild the
+// p99 batch is an O(N) bulk re-load, under MergeAuto it is a partial merge
+// of the net delta, and with BackgroundCompaction the foreground batch only
+// seals a run. The final Flush is inside the measured wall clock, so
+// background mode pays for its deferred work in ops/sec.
+func (b *bench) ingestSweep(ds *datagen.Dataset) []Record {
+	header("ingest: sustained writes, merge-strategy sweep (rebuild vs incremental vs background)")
+	modes := []struct {
+		label string
+		tune  func(c *stpq.Config)
+	}{
+		{"rebuild", func(c *stpq.Config) { c.MergePolicy = stpq.MergeRebuild }},
+		{"incremental", func(c *stpq.Config) { c.MergePolicy = stpq.MergeAuto }},
+		{"background", func(c *stpq.Config) {
+			c.MergePolicy = stpq.MergeAuto
+			c.BackgroundCompaction = true
+		}},
+	}
+	var recs []Record
+	for _, m := range modes {
+		recs = append(recs, b.ingestSweepPoint(ds, m.label, m.tune)...)
+	}
+	return recs
+}
+
+// ingestSweepPoint drives one merge strategy: b.queries write batches with
+// a read sampled every eighth operation, then a draining Flush. The write
+// record's TotalMS.P99 is the write-stall number; QPS is applied mutations
+// per second of measured wall clock.
+func (b *bench) ingestSweepPoint(ds *datagen.Dataset, label string, tune func(c *stpq.Config)) []Record {
+	walDir, err := os.MkdirTemp("", "stpq-bench-wal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	db := ingestDB(ds, walDir, b.buffer, func(c *stpq.Config) {
+		// Merge roughly every 16 batches so each mode's merge cadence —
+		// not the WAL fsync — dominates the latency distribution.
+		c.AutoFlushOps = 64
+		tune(c)
+	})
+	defer db.CloseWAL()
+	rng := rand.New(rand.NewSource(b.seed))
+	var (
+		reads    []core.Stats
+		writes   []core.Stats
+		inserted []int64
+		nextID   = ingestIDBase
+	)
+	start := time.Now()
+	for op := 0; op < b.queries; op++ {
+		if op%8 == 7 {
+			_, st, err := db.TopK(ingestQuery(rng, ds))
+			if err != nil {
+				log.Fatal(err)
+			}
+			reads = append(reads, coreStats(st))
+			continue
+		}
+		batch, ids := ingestBatch(rng, ds, nextID, inserted)
+		nextID += int64(len(ids))
+		inserted = append(inserted, ids...)
+		t0 := time.Now()
+		if err := db.Apply(batch); err != nil {
+			log.Fatal(err)
+		}
+		writes = append(writes, core.Stats{CPUTime: time.Since(t0)})
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+	m := db.Metrics().Counters
+	counters := map[string]int64{
+		"stpq_ingest_applied_total":        m["stpq_ingest_applied_total"],
+		"stpq_ingest_merges_total":         m["stpq_ingest_merges_total"],
+		"stpq_ingest_partial_merges_total": m["stpq_ingest_partial_merges_total"],
+		"stpq_ingest_full_rebuilds_total":  m["stpq_ingest_full_rebuilds_total"],
+		"stpq_ingest_compactions_total":    m["stpq_ingest_compactions_total"],
+		"stpq_ingest_write_stalls_total":   m["stpq_ingest_write_stalls_total"],
+	}
+	lbl := fmt.Sprintf("  %-12s", label)
+	write := newRecord("ingest-sweep", lbl+" writes", "SRT", "apply", nil, writes)
+	write.Counters = counters
+	write.QPS = float64(m["stpq_ingest_applied_total"]) / wall.Seconds()
+	read := newRecord("ingest-sweep", lbl+" reads", "SRT", "stps", nil, reads)
+	read.Variant = core.RangeScore.String()
+	read.Counters = counters
+	line(lbl, fmt.Sprintf("%6.0f ops/s  write p50 %6.2fms p99 %7.2fms  read p99 %6.2fms  (partial %d, full %d, stalls %d)",
+		write.QPS, write.TotalMS.P50, write.TotalMS.P99, read.TotalMS.P99,
+		counters["stpq_ingest_partial_merges_total"],
+		counters["stpq_ingest_full_rebuilds_total"],
+		counters["stpq_ingest_write_stalls_total"]))
+	return []Record{write, read}
+}
+
 // ingestDB builds a fresh WAL-backed single-engine DB over ds, naming
-// keywords kw<id> the way cmd/stpqd's synthetic path does.
-func ingestDB(ds *datagen.Dataset, walDir string, buffer int) *stpq.DB {
-	db := stpq.New(stpq.Config{WALDir: walDir, BufferPages: buffer})
+// keywords kw<id> the way cmd/stpqd's synthetic path does. tune, when
+// non-nil, adjusts the config before the DB is created.
+func ingestDB(ds *datagen.Dataset, walDir string, buffer int, tune func(c *stpq.Config)) *stpq.DB {
+	cfg := stpq.Config{WALDir: walDir, BufferPages: buffer}
+	if tune != nil {
+		tune(&cfg)
+	}
+	db := stpq.New(cfg)
 	objs := make([]stpq.Object, len(ds.Objects))
 	for i, o := range ds.Objects {
 		objs[i] = stpq.Object{ID: o.ID, X: o.Location.X, Y: o.Location.Y}

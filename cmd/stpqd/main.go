@@ -72,6 +72,14 @@ func main() {
 		planMode  = flag.String("plan", "auto", "algorithm for requests that don't name one: auto (cost-based planner) | stds | stps")
 		costCap   = flag.Duration("max-inflight-cost", 0, "shed queries whose predicted cost would push the summed in-flight predicted cost over this budget (0 = off)")
 
+		mergePolicy = flag.String("merge-policy", "auto", "-synthetic: how pending writes merge into the base indexes: auto (incremental with degradation fallback) | incremental | rebuild")
+		bgCompact   = flag.Bool("background-compaction", false, "-synthetic: seal full deltas into runs and merge them on a background goroutine instead of stalling Apply")
+		compactRuns = flag.Int("compact-runs", 0, "-synthetic: sealed-run watermark that wakes the background compactor (0 = default)")
+		flushOps    = flag.Int("auto-flush-ops", 0, "-synthetic: delta size that triggers a merge or run seal (0 = default, negative = never)")
+		ckptOps     = flag.Int64("checkpoint-every-ops", 0, "checkpoint automatically after this many applied mutations (0 = off; needs a WAL)")
+		ckptBytes   = flag.Int64("checkpoint-every-bytes", 0, "checkpoint automatically after this many appended WAL bytes (0 = off; needs a WAL)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory auto-checkpoints are written to (default: the -open directory)")
+
 		clusterNode  = flag.Bool("cluster-node", false, "serve one partition cell over the cluster RPC protocol (needs -cluster-map and -node-id)")
 		clusterCoord = flag.Bool("cluster-coordinator", false, "serve scatter-gather queries over the cluster in -cluster-map")
 		clusterMap   = flag.String("cluster-map", "", "partition map file (see -write-cluster-map)")
@@ -92,6 +100,8 @@ func main() {
 		seed: *seed, indexKind: *indexKind, shards: *shards, strategy: *strategy,
 		stripes: *stripes, pprofAddr: *pprofAddr, walDir: *walDir,
 		traceRate: *traceRate, slowQuery: *slowQuery,
+		bgCompact: *bgCompact, compactRuns: *compactRuns, flushOps: *flushOps,
+		ckptOps: *ckptOps, ckptBytes: *ckptBytes, ckptDir: *ckptDir,
 		serve: serve.Config{
 			Workers:         *workers,
 			QueueDepth:      *queue,
@@ -110,6 +120,16 @@ func main() {
 		cfg.serve.DefaultAlgorithm = stpq.STPS
 	default:
 		log.Fatalf("unknown -plan %q (want auto, stds or stps)", *planMode)
+	}
+	switch *mergePolicy {
+	case "auto":
+		cfg.mergePolicy = stpq.MergeAuto
+	case "incremental":
+		cfg.mergePolicy = stpq.MergeIncremental
+	case "rebuild":
+		cfg.mergePolicy = stpq.MergeRebuild
+	default:
+		log.Fatalf("unknown -merge-policy %q (want auto, incremental or rebuild)", *mergePolicy)
 	}
 	cfg.cluster = clusterConfig{
 		node: *clusterNode, coordinator: *clusterCoord,
@@ -148,13 +168,32 @@ type daemonConfig struct {
 	walDir              string
 	traceRate           float64
 	slowQuery           time.Duration
+	mergePolicy         stpq.MergePolicy
+	bgCompact           bool
+	compactRuns         int
+	flushOps            int
+	ckptOps, ckptBytes  int64
+	ckptDir             string
 	serve               serve.Config
 	cluster             clusterConfig
+}
+
+// checkpointDir resolves where auto-checkpoints land: -checkpoint-dir if
+// given, else the opened DB's own directory.
+func (cfg daemonConfig) checkpointDir() string {
+	if cfg.ckptDir != "" {
+		return cfg.ckptDir
+	}
+	return cfg.open
 }
 
 func run(cfg daemonConfig) error {
 	if cfg.pprofAddr != "" {
 		startPprof(cfg.pprofAddr)
+	}
+	autoCkpt := cfg.ckptOps > 0 || cfg.ckptBytes > 0
+	if autoCkpt && cfg.checkpointDir() == "" {
+		return errors.New("-checkpoint-every-ops/-checkpoint-every-bytes need -checkpoint-dir (or -open)")
 	}
 	// The listener comes up before the index: a swappable handler answers
 	// 503 (ErrNotBuilt) until the build completes, then the real service
@@ -191,6 +230,12 @@ func run(cfg daemonConfig) error {
 		if err != nil {
 			buildErrc <- err
 			return
+		}
+		// The background compactor yields while admitted queries are
+		// waiting for a worker: foreground reads outrank merge work.
+		db.SetCompactionGate(svc.Saturated)
+		if autoCkpt {
+			go autoCheckpoint(ctx, db, cfg.checkpointDir(), cfg.ckptOps, cfg.ckptBytes)
 		}
 		ready := svc.Handler()
 		handler.Store(&ready)
@@ -236,6 +281,45 @@ func run(cfg daemonConfig) error {
 	return nil
 }
 
+// autoCheckpoint polls the ingest counters and checkpoints the DB whenever
+// the applied-mutation or appended-WAL-byte delta since the last checkpoint
+// crosses its threshold, so long-running daemons trim the log instead of
+// growing it unboundedly. The disk phase of Checkpoint runs against a
+// pinned generation without blocking Apply, so polling once a second is
+// cheap and a checkpoint in progress never stalls writes.
+func autoCheckpoint(ctx context.Context, db *stpq.DB, dir string, everyOps, everyBytes int64) {
+	readCounters := func() (ops, bytes int64) {
+		c := db.Metrics().Counters
+		return c["stpq_ingest_applied_total"], c["stpq_wal_bytes_total"]
+	}
+	baseOps, baseBytes := readCounters()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		ops, bytes := readCounters()
+		if !(everyOps > 0 && ops-baseOps >= everyOps) &&
+			!(everyBytes > 0 && bytes-baseBytes >= everyBytes) {
+			continue
+		}
+		start := time.Now()
+		err := db.Checkpoint(dir)
+		if err != nil {
+			// Advance the baseline even on failure: retrying every second
+			// against a persistent error (disk full, say) would melt the log.
+			log.Printf("auto-checkpoint failed: %v", err)
+		} else {
+			log.Printf("auto-checkpoint: +%d ops, +%d WAL bytes -> %s in %v (through seq %d)",
+				ops-baseOps, bytes-baseBytes, dir, time.Since(start).Round(time.Millisecond), db.WALSeq())
+		}
+		baseOps, baseBytes = ops, bytes
+	}
+}
+
 // startPprof serves the net/http/pprof endpoints on their own listener,
 // kept off the query port so profiling never competes with admission
 // control. Mutex and block profiling run at a low sampling rate: cheap
@@ -276,6 +360,9 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 		}
 		if cfg.stripes > 1 {
 			log.Printf("warning: -pool-stripes applies to -synthetic only; opened DBs use the single-lock pool")
+		}
+		if cfg.mergePolicy != stpq.MergeAuto || cfg.bgCompact || cfg.compactRuns > 0 {
+			log.Printf("warning: -merge-policy/-background-compaction/-compact-runs apply to -synthetic only; opened DBs take them from the manifest")
 		}
 		log.Printf("opening %s", cfg.open)
 		db, err := stpq.Open(cfg.open)
@@ -320,6 +407,8 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 			IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat,
 			PoolStripes: cfg.stripes, WALDir: cfg.walDir,
 			TraceSampleRate: cfg.traceRate, SlowQueryThreshold: cfg.slowQuery,
+			MergePolicy: cfg.mergePolicy, BackgroundCompaction: cfg.bgCompact,
+			CompactRuns: cfg.compactRuns, AutoFlushOps: cfg.flushOps,
 		})
 		objs, sets := syntheticData(cfg)
 		db.AddObjects(objs)

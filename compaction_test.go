@@ -1,0 +1,453 @@
+package stpq
+
+// compaction_test.go verifies the generational merge pipeline: partial
+// merges must stay byte-identical to a from-scratch rebuild across index
+// kinds, variants and algorithms; the background compactor must converge
+// to the same answers while queries run; a crash at any point of the
+// pipeline — after a run seal, after a partial merge, mid-checkpoint —
+// must recover oracle-exact from the WAL; and the MergeAuto degradation
+// heuristic must actually fall back to full rebuilds under drift.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flushStep applies one random batch to db and the shadow, then merges.
+func flushStep(t *testing.T, db *DB, shadow *ingestShadow, rng *rand.Rand, n int) {
+	t.Helper()
+	muts := randomMutations(rng, shadow, n)
+	if err := db.Apply(muts); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for _, m := range muts {
+		shadow.apply(m)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+// TestPartialMergeOracleEquivalence is the acceptance gate of the
+// incremental path: with MergeIncremental forced, every Flush batch-applies
+// the net delta into copy-on-write clones of the live trees, and the
+// answers after each merge are byte-identical to a from-scratch rebuild —
+// for both index kinds, all three variants and both algorithms (via
+// assertSameTopK), across insert/delete/upsert mixes.
+func TestPartialMergeOracleEquivalence(t *testing.T) {
+	for _, kind := range []IndexKind{SRT, IR2} {
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			objs, sets := ingestSeedData(rng, 250, 120)
+			cfg := Config{IndexKind: kind, PageSize: 1024, WALDir: t.TempDir(),
+				AutoFlushOps: -1, MergePolicy: MergeIncremental}
+			db := buildIngestDB(t, cfg, objs, sets)
+			shadow := newIngestShadow(objs, sets)
+			for round := 0; round < 6; round++ {
+				flushStep(t, db, shadow, rng, 15)
+				if db.PendingOps() != 0 {
+					t.Fatalf("round %d: %d pending ops after Flush", round, db.PendingOps())
+				}
+				assertSameTopK(t, fmt.Sprintf("round %d", round), db, shadow.oracle(t, cfg), rng)
+			}
+			m := db.Metrics().Counters
+			if m["stpq_ingest_partial_merges_total"] != 6 {
+				t.Fatalf("partial merges = %d, want 6 (full rebuilds = %d)",
+					m["stpq_ingest_partial_merges_total"], m["stpq_ingest_full_rebuilds_total"])
+			}
+			if m["stpq_ingest_full_rebuilds_total"] != 0 {
+				t.Fatalf("full rebuilds = %d, want 0 under MergeIncremental",
+					m["stpq_ingest_full_rebuilds_total"])
+			}
+		})
+	}
+}
+
+// TestPartialMergeSurvivesCheckpointCycle: a checkpoint after partial
+// merges must round-trip through Open — the incrementally-grown trees are
+// saved, reloaded, and keep both answering and merging exactly.
+func TestPartialMergeSurvivesCheckpointCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	objs, sets := ingestSeedData(rng, 200, 100)
+	saveDir := t.TempDir()
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(),
+		AutoFlushOps: -1, MergePolicy: MergeIncremental}
+	db1 := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+	for round := 0; round < 3; round++ {
+		flushStep(t, db1, shadow, rng, 12)
+	}
+	if err := db1.Checkpoint(saveDir); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	db2, err := Open(saveDir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	assertSameTopK(t, "reopened after partial merges", db2, shadow.oracle(t, cfg), rng)
+	// The reopened DB merges incrementally too (raw slices and location
+	// maps are rebuilt from the indexes on WAL attach).
+	flushStep(t, db2, shadow, rng, 10)
+	assertSameTopK(t, "merged after reopen", db2, shadow.oracle(t, cfg), rng)
+	if m := db2.Metrics().Counters; m["stpq_ingest_partial_merges_total"] == 0 {
+		t.Fatal("reopened DB fell back to full rebuild; want a partial merge")
+	}
+}
+
+// TestBackgroundCompactionOracleEquivalence streams writes through the
+// sealed-run pipeline: a tiny auto-flush threshold seals runs constantly,
+// the watermark-1 compactor merges them concurrently, and after every
+// round the overlay over base + surviving runs + delta must still match
+// the oracle. The final Flush drains whatever the compactor has not taken.
+func TestBackgroundCompactionOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	objs, sets := ingestSeedData(rng, 200, 100)
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(),
+		AutoFlushOps: 10, BackgroundCompaction: true, CompactRuns: 1}
+	db := buildIngestDB(t, cfg, objs, sets)
+	defer db.CloseWAL()
+	shadow := newIngestShadow(objs, sets)
+	for round := 0; round < 8; round++ {
+		muts := randomMutations(rng, shadow, 12)
+		if err := db.Apply(muts); err != nil {
+			t.Fatalf("round %d: Apply: %v", round, err)
+		}
+		for _, m := range muts {
+			shadow.apply(m)
+		}
+		assertSameTopK(t, fmt.Sprintf("round %d", round), db, shadow.oracle(t, cfg), rng)
+	}
+	// The compactor must get a chance to win at least one swap: wait for a
+	// completed compaction before draining (every sealed run nudged it).
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Metrics().Counters["stpq_ingest_compactions_total"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no background compaction completed; runs=%d", db.Runs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if db.PendingOps() != 0 {
+		t.Fatalf("PendingOps after drain = %d", db.PendingOps())
+	}
+	assertSameTopK(t, "after drain", db, shadow.oracle(t, cfg), rng)
+	st := db.IngestStatus()
+	if !st.BackgroundCompaction || st.Compactions == 0 {
+		t.Fatalf("IngestStatus = %+v; want live compactor with completed compactions", st)
+	}
+}
+
+// TestCrashAfterRunSeal: a crash while sealed runs (and a half-filled
+// delta) are awaiting compaction loses nothing — the WAL replays every
+// batch and the restarted DB matches the oracle.
+func TestCrashAfterRunSeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	objs, sets := ingestSeedData(rng, 150, 80)
+	walDir := t.TempDir()
+	// A huge watermark keeps the compactor asleep: runs pile up sealed and
+	// unmerged, the worst case for recovery.
+	cfg := Config{PageSize: 1024, WALDir: walDir,
+		AutoFlushOps: 8, BackgroundCompaction: true, CompactRuns: 1 << 20}
+	db1 := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+	applied := 0
+	for round := 0; round < 5; round++ {
+		muts := randomMutations(rng, shadow, 10)
+		if err := db1.Apply(muts); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range muts {
+			shadow.apply(m)
+		}
+		applied += len(muts)
+	}
+	if db1.Runs() == 0 {
+		t.Fatal("test did not reach the sealed-run state it means to crash in")
+	}
+	// Crash: db1 abandoned, WAL left open, runs and delta lost with the heap.
+	db2 := buildIngestDB(t, cfg, objs, sets)
+	defer db2.CloseWAL()
+	if got := db2.Metrics().Counters["stpq_ingest_replayed_total"]; got != int64(applied) {
+		t.Fatalf("replayed %d mutations, want %d", got, applied)
+	}
+	assertSameTopK(t, "after run-seal crash", db2, shadow.oracle(t, cfg), rng)
+}
+
+// TestCrashAfterPartialMerge: partial merges change only the in-memory
+// generation, not the durable watermark — after a crash the full log
+// replays over the seed base and reconverges exactly.
+func TestCrashAfterPartialMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	objs, sets := ingestSeedData(rng, 150, 80)
+	walDir := t.TempDir()
+	cfg := Config{PageSize: 1024, WALDir: walDir,
+		AutoFlushOps: -1, MergePolicy: MergeIncremental}
+	db1 := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+	for round := 0; round < 3; round++ {
+		flushStep(t, db1, shadow, rng, 10)
+	}
+	if m := db1.Metrics().Counters["stpq_ingest_partial_merges_total"]; m != 3 {
+		t.Fatalf("partial merges before crash = %d, want 3", m)
+	}
+	// Crash after the merges, before any checkpoint.
+	db2 := buildIngestDB(t, cfg, objs, sets)
+	if got := db2.Metrics().Counters["stpq_ingest_replayed_total"]; got != 30 {
+		t.Fatalf("replayed %d mutations, want 30", got)
+	}
+	assertSameTopK(t, "after partial-merge crash", db2, shadow.oracle(t, cfg), rng)
+}
+
+// TestCrashMidCheckpointSwap simulates dying between a checkpoint's page
+// dumps and its manifest rename: newer-generation page files exist on disk
+// but the manifest still names the old generation. Open must load the old
+// checkpoint, replay the WAL tail exactly, and the next successful
+// checkpoint must garbage-collect the orphaned dumps.
+func TestCrashMidCheckpointSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	objs, sets := ingestSeedData(rng, 150, 80)
+	saveDir := t.TempDir()
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(), AutoFlushOps: -1}
+	db1 := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+	step := func(n int) {
+		muts := randomMutations(rng, shadow, n)
+		if err := db1.Apply(muts); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range muts {
+			shadow.apply(m)
+		}
+	}
+	step(12)
+	if err := db1.Checkpoint(saveDir); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	step(9) // the tail only the WAL knows about
+
+	// The torn second checkpoint: generation-stamped page dumps landed, the
+	// manifest rename did not. Garbage contents prove they are never read.
+	orphans := []string{
+		fmt.Sprintf("objects.%016x.pages", uint64(1)<<40),
+		fmt.Sprintf("features_0.%016x.pages", uint64(1)<<40),
+	}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(saveDir, name), []byte("torn checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db2, err := Open(saveDir)
+	if err != nil {
+		t.Fatalf("Open with orphaned page dumps: %v", err)
+	}
+	if got := db2.Metrics().Counters["stpq_ingest_replayed_total"]; got != 9 {
+		t.Fatalf("replayed %d mutations, want 9", got)
+	}
+	assertSameTopK(t, "after torn checkpoint", db2, shadow.oracle(t, cfg), rng)
+
+	// A completed checkpoint sweeps the orphans.
+	if err := db2.Checkpoint(saveDir); err != nil {
+		t.Fatalf("second Checkpoint: %v", err)
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(saveDir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphaned page dump %s survived the next checkpoint (err=%v)", name, err)
+		}
+	}
+	// And the recovered-from-recovered state still opens exactly.
+	db3, err := Open(saveDir)
+	if err != nil {
+		t.Fatalf("Open after second checkpoint: %v", err)
+	}
+	assertSameTopK(t, "after second checkpoint", db3, shadow.oracle(t, cfg), rng)
+}
+
+// TestCheckpointDoesNotBlockApply runs Apply and Checkpoint concurrently:
+// the disk phase works from a pinned generation with no DB locks held, so
+// writes keep flowing mid-checkpoint, every checkpoint is a consistent
+// prefix, and the final recovery (snapshot + WAL tail) is oracle-exact.
+// Run under -race this also proves the pinned pages are never written.
+func TestCheckpointDoesNotBlockApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	objs, sets := ingestSeedData(rng, 150, 80)
+	saveDir := t.TempDir()
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(), AutoFlushOps: -1}
+	db := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+
+	// Pre-generate the batches so the writer goroutine never touches the
+	// shadow (which the main goroutine owns).
+	batches := make([][]Mutation, 20)
+	for i := range batches {
+		batches[i] = randomMutations(rng, shadow, 6)
+		for _, m := range batches[i] {
+			shadow.apply(m)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errc := make(chan error, 8)
+	go func() {
+		defer wg.Done()
+		for _, b := range batches {
+			if err := db.Apply(b); err != nil {
+				errc <- fmt.Errorf("Apply: %w", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := db.Checkpoint(saveDir); err != nil {
+				errc <- fmt.Errorf("Checkpoint %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	assertSameTopK(t, "live after concurrent checkpoints", db, shadow.oracle(t, cfg), rng)
+
+	db2, err := Open(saveDir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	assertSameTopK(t, "recovered after concurrent checkpoints", db2, shadow.oracle(t, cfg), rng)
+}
+
+// TestMergeAutoDegradationFallback pins the MergeAuto heuristic from both
+// sides: a small batch merges partially, and a pending set larger than the
+// drift ratio allows forces the full rebuild that re-packs the trees.
+func TestMergeAutoDegradationFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	objs, sets := ingestSeedData(rng, 60, 40)
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(), AutoFlushOps: -1}
+	db := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+
+	flushStep(t, db, shadow, rng, 10)
+	m := db.Metrics().Counters
+	if m["stpq_ingest_partial_merges_total"] != 1 || m["stpq_ingest_full_rebuilds_total"] != 0 {
+		t.Fatalf("small flush: partial=%d full=%d, want 1/0",
+			m["stpq_ingest_partial_merges_total"], m["stpq_ingest_full_rebuilds_total"])
+	}
+
+	// ~300 net ops against ~160 live entries is far past the default 0.5
+	// drift ratio; MergeAuto must rebuild instead of merging.
+	muts := randomMutations(rng, shadow, 400)
+	if err := db.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
+	for _, mu := range muts {
+		shadow.apply(mu)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m = db.Metrics().Counters
+	if m["stpq_ingest_full_rebuilds_total"] == 0 {
+		t.Fatalf("oversized flush did not fall back: partial=%d full=%d",
+			m["stpq_ingest_partial_merges_total"], m["stpq_ingest_full_rebuilds_total"])
+	}
+	assertSameTopK(t, "after fallback rebuild", db, shadow.oracle(t, cfg), rng)
+
+	// The rebuild reset the drift accounting: the next small flush is
+	// incremental again.
+	flushStep(t, db, shadow, rng, 8)
+	m2 := db.Metrics().Counters
+	if m2["stpq_ingest_partial_merges_total"] != m["stpq_ingest_partial_merges_total"]+1 {
+		t.Fatalf("post-rebuild flush not partial: partial=%d full=%d",
+			m2["stpq_ingest_partial_merges_total"], m2["stpq_ingest_full_rebuilds_total"])
+	}
+	assertSameTopK(t, "after post-rebuild merge", db, shadow.oracle(t, cfg), rng)
+}
+
+// TestBackpressureStallsWrites: with the compactor wedged shut (gate
+// always saturated, watermark 1 so runs seal constantly), the run count
+// hits MaxRuns and Apply merges synchronously, counting a write stall.
+func TestBackpressureStallsWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	objs, sets := ingestSeedData(rng, 150, 80)
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(),
+		AutoFlushOps: 6, BackgroundCompaction: true, CompactRuns: 1, MaxRuns: 2}
+	db := buildIngestDB(t, cfg, objs, sets)
+	defer db.CloseWAL()
+	// A permanently-saturated gate parks the compactor at its pacing
+	// points, letting runs accumulate to the cap deterministically enough
+	// to observe at least one stall.
+	db.SetCompactionGate(func() bool { return true })
+	shadow := newIngestShadow(objs, sets)
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Metrics().Counters["stpq_ingest_write_stalls_total"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no write stall observed; runs=%d", db.Runs())
+		}
+		muts := randomMutations(rng, shadow, 8)
+		if err := db.Apply(muts); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range muts {
+			shadow.apply(m)
+		}
+	}
+	db.SetCompactionGate(nil)
+	assertSameTopK(t, "after backpressure stall", db, shadow.oracle(t, cfg), rng)
+}
+
+// TestCheckpointFileGenNames pins the atomic-checkpoint layout: page dumps
+// carry the generation stamp the manifest names, so successive checkpoints
+// never overwrite each other's files in place.
+func TestCheckpointFileGenNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	objs, sets := ingestSeedData(rng, 80, 50)
+	saveDir := t.TempDir()
+	cfg := Config{PageSize: 1024, WALDir: t.TempDir(), AutoFlushOps: -1}
+	db := buildIngestDB(t, cfg, objs, sets)
+	shadow := newIngestShadow(objs, sets)
+	muts := randomMutations(rng, shadow, 6)
+	if err := db.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts {
+		shadow.apply(m)
+	}
+	if err := db.Checkpoint(saveDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(saveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pages") {
+			pages = append(pages, e.Name())
+		}
+	}
+	want := pageFile("objects", db.WALSeq())
+	found := false
+	for _, p := range pages {
+		if p == want {
+			found = true
+		}
+		if p == "objects.pages" || strings.Count(p, ".") != 2 {
+			t.Fatalf("checkpoint wrote unstamped page dump %q (all: %v)", p, pages)
+		}
+	}
+	if !found {
+		t.Fatalf("checkpoint page dumps %v missing %q", pages, want)
+	}
+}

@@ -114,10 +114,12 @@ func (db *DB) Apply(muts []Mutation) error {
 	return nil
 }
 
-// Flush merges the pending delta into the raw data and rebuilds the base
-// indexes, publishing a new generation. A no-op when the delta is empty.
-// Flush does not trim the WAL — only Checkpoint moves the durable
-// watermark.
+// Flush merges every pending generation — sealed runs and the active
+// delta — into the base indexes, publishing a new generation. Under the
+// default MergeAuto policy the merge is incremental: the net mutations
+// are batch-applied into copy-on-write clones of the base trees, so only
+// touched subtrees are rewritten. A no-op when nothing is pending. Flush
+// does not trim the WAL — only Checkpoint moves the durable watermark.
 func (db *DB) Flush() error {
 	db.ingestMu.Lock()
 	defer db.ingestMu.Unlock()
@@ -126,21 +128,38 @@ func (db *DB) Flush() error {
 	if !db.built {
 		return fmt.Errorf("%w: Flush before Build", ErrNotBuilt)
 	}
-	if db.delta == nil || db.delta.Empty() {
+	if !db.pendingLocked() {
 		return nil
 	}
-	return db.mergeLocked(nil)
+	return db.mergeLocked(nil, false)
+}
+
+// pendingLocked reports whether any unmerged mutations exist (sealed runs
+// or a non-empty delta).
+func (db *DB) pendingLocked() bool {
+	return len(db.runs) > 0 || (db.delta != nil && !db.delta.Empty())
 }
 
 // PendingOps returns the number of mutations applied since the last merge
-// — the current delta size.
+// — the active delta plus every sealed, uncompacted run.
 func (db *DB) PendingOps() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if db.delta == nil {
-		return 0
+	n := 0
+	for _, r := range db.runs {
+		n += r.Ops
 	}
-	return db.delta.Ops()
+	if db.delta != nil {
+		n += db.delta.Ops()
+	}
+	return n
+}
+
+// Runs returns the number of sealed runs awaiting background compaction.
+func (db *DB) Runs() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.runs)
 }
 
 // WALSeq returns the sequence number of the last applied WAL record (0
@@ -151,33 +170,59 @@ func (db *DB) WALSeq() uint64 {
 	return db.walSeq
 }
 
-// Checkpoint flushes the delta, saves the merged DB to dir (recording the
-// WAL position in the manifest), and drops the log segments the snapshot
-// makes redundant. After a crash, Open(dir) + the manifest's WALDir replay
-// only the records after the checkpoint.
+// Checkpoint merges every pending generation, saves the merged DB to dir
+// (recording the WAL position in the manifest), and drops the log
+// segments the snapshot makes redundant. After a crash, Open(dir) + the
+// manifest's WALDir replay only the records after the checkpoint.
+//
+// The disk phase runs against a pinned generation with no DB locks held:
+// the merged engine's pages are immutable by construction (later partial
+// merges write only copy-on-write overlays), so Apply keeps accepting
+// writes while the snapshot streams out. The save itself is atomic — page
+// dumps land under generation-stamped names and the manifest is renamed
+// into place last — so a crash mid-checkpoint leaves the previous
+// checkpoint fully intact.
 func (db *DB) Checkpoint(dir string) error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.ingestMu.Lock()
-	defer db.ingestMu.Unlock()
 	db.mu.Lock()
 	if !db.built {
 		db.mu.Unlock()
+		db.ingestMu.Unlock()
 		return fmt.Errorf("%w: Checkpoint before Build", ErrNotBuilt)
 	}
 	wal := db.wal
 	if wal == nil {
 		db.mu.Unlock()
+		db.ingestMu.Unlock()
 		return ErrNoWAL
 	}
-	if db.delta != nil && !db.delta.Empty() {
-		if err := db.mergeLocked(nil); err != nil {
+	if db.pendingLocked() {
+		if err := db.mergeLocked(nil, false); err != nil {
 			db.mu.Unlock()
+			db.ingestMu.Unlock()
 			return err
 		}
 	}
+	prevApplied := db.appliedSeq
 	db.appliedSeq = db.walSeq
 	seq := db.walSeq
+	pin, err := db.pinCheckpointLocked(seq)
 	db.mu.Unlock()
-	if err := db.Save(dir); err != nil {
+	db.ingestMu.Unlock()
+	if err == nil {
+		err = pin.save(dir)
+	}
+	if err != nil {
+		db.mu.Lock()
+		if db.appliedSeq == seq {
+			db.appliedSeq = prevApplied
+		}
+		db.mu.Unlock()
+		return err
+	}
+	if err := db.SaveShapes(dir); err != nil {
 		return err
 	}
 	return wal.DropThrough(seq)
@@ -209,18 +254,26 @@ func (db *DB) attachWALLocked(dir string) (int, error) {
 	}
 	if len(db.objects) == 0 {
 		// Opened DBs do not retain the raw slices; rebuild them from the
-		// indexes so merges (which re-bulk-load from raw) work.
+		// indexes so merges (which fold into raw) work.
 		if err := db.materializeRawLocked(); err != nil {
 			return 0, err
 		}
-		db.objByID = make(map[int64]struct{}, len(db.objects))
-		for _, o := range db.objects {
-			db.objByID[o.ID] = struct{}{}
-		}
+		db.rebuildLocMapsLocked()
+	}
+	if db.baseHeights == nil {
+		// Opened DBs skipped buildLocked; their reopened bulk-loaded trees
+		// are the degradation baseline.
+		db.recordBaseShapeLocked()
 	}
 	db.ingestApplied = db.metrics.Counter("stpq_ingest_applied_total")
 	db.ingestReplayed = db.metrics.Counter("stpq_ingest_replayed_total")
 	db.ingestMerges = db.metrics.Counter("stpq_ingest_merges_total")
+	db.partialMerges = db.metrics.Counter("stpq_ingest_partial_merges_total")
+	db.fullRebuilds = db.metrics.Counter("stpq_ingest_full_rebuilds_total")
+	db.compactions = db.metrics.Counter("stpq_ingest_compactions_total")
+	db.compactsLost = db.metrics.Counter("stpq_ingest_compactions_abandoned_total")
+	db.writeStalls = db.metrics.Counter("stpq_ingest_write_stalls_total")
+	db.mergeSeconds = db.metrics.Histogram("stpq_ingest_merge_seconds", obs.LatencyBuckets)
 	fsync := db.metrics.Histogram("stpq_ingest_wal_fsync_seconds", obs.LatencyBuckets)
 	appends := db.metrics.Counter("stpq_wal_appends_total")
 	walBytes := db.metrics.Counter("stpq_wal_bytes_total")
@@ -257,7 +310,7 @@ func (db *DB) attachWALLocked(dir string) (int, error) {
 		w.Close()
 		return 0, err
 	}
-	if db.delta != nil && !db.delta.Empty() {
+	if db.pendingLocked() {
 		if err := db.publishOverlayLocked(); err != nil {
 			w.Close()
 			return 0, err
@@ -268,12 +321,33 @@ func (db *DB) attachWALLocked(dir string) (int, error) {
 	}
 	db.wal = w
 	db.ingestReplayed.Add(int64(replayed))
+	if db.cfg.BackgroundCompaction && db.compactDone == nil {
+		db.compactC = make(chan struct{}, 1)
+		db.compactStop = make(chan struct{})
+		db.compactDone = make(chan struct{})
+		go db.compactorLoop(db.compactC, db.compactStop, db.compactDone)
+		if len(db.runs) > 0 {
+			db.nudgeCompactor()
+		}
+	}
 	return replayed, nil
 }
 
-// CloseWAL flushes pending group commits and closes the log. The DB keeps
-// answering queries; Apply fails with ErrNoWAL afterwards.
+// CloseWAL stops the background compactor, flushes pending group commits
+// and closes the log. The DB keeps answering queries; Apply fails with
+// ErrNoWAL afterwards. Unmerged runs and delta stay queryable and remain
+// recoverable from the log they were appended to.
 func (db *DB) CloseWAL() error {
+	db.ingestMu.Lock()
+	db.mu.Lock()
+	stop, done := db.compactStop, db.compactDone
+	db.compactStop, db.compactDone, db.compactC = nil, nil, nil
+	db.mu.Unlock()
+	db.ingestMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done // the compactor may be mid-swap; wait it out
+	}
 	db.ingestMu.Lock()
 	defer db.ingestMu.Unlock()
 	db.mu.Lock()
@@ -348,12 +422,15 @@ func (db *DB) setPosLocked(name string) int {
 // the fast path routes it into the delta (feature inserts exercising the
 // R-tree insertion path and the Section 4.2 node-update rule) and, when
 // publish is set, swaps in a fresh overlay generation. Batches that grow
-// the vocabulary, and deltas that reach the auto-flush threshold, take the
-// merge path instead. Replay passes publish=false and publishes once at
-// the end.
+// the vocabulary take the full-rebuild merge path (the delta indexes are
+// built at the base vocabulary width). A delta reaching the auto-flush
+// threshold merges synchronously — or, under BackgroundCompaction, is
+// sealed into an immutable run for the compactor, keeping the write
+// stall at O(feature sets). Replay passes publish=false and publishes
+// once at the end.
 func (db *DB) applyBatchLocked(muts []Mutation, publish bool) error {
 	if db.batchGrowsVocabLocked(muts) {
-		return db.mergeLocked(muts)
+		return db.mergeLocked(muts, true)
 	}
 	if err := db.ensureDeltaLocked(); err != nil {
 		return err
@@ -383,12 +460,69 @@ func (db *DB) applyBatchLocked(muts []Mutation, publish bool) error {
 		}
 	}
 	if t := db.autoFlushThreshold(); t > 0 && db.delta.Ops() >= t {
-		return db.mergeLocked(nil)
+		if !db.backgroundOnLocked() {
+			return db.mergeLocked(nil, false)
+		}
+		if len(db.runs) >= db.maxRuns() {
+			// Backpressure: the compactor is behind; merge synchronously
+			// rather than grow runs without bound. This is the write
+			// stall the metric counts.
+			if db.writeStalls != nil {
+				db.writeStalls.Inc()
+			}
+			return db.mergeLocked(nil, false)
+		}
+		db.sealDeltaLocked()
 	}
 	if publish {
 		return db.publishOverlayLocked()
 	}
 	return nil
+}
+
+// backgroundOnLocked reports whether the background compactor is running.
+func (db *DB) backgroundOnLocked() bool {
+	return db.cfg.BackgroundCompaction && db.compactDone != nil
+}
+
+// compactRunsWatermark resolves Config.CompactRuns.
+func (db *DB) compactRunsWatermark() int {
+	if db.cfg.CompactRuns > 0 {
+		return db.cfg.CompactRuns
+	}
+	return 4
+}
+
+// maxRuns resolves Config.MaxRuns, the write-backpressure cap.
+func (db *DB) maxRuns() int {
+	if db.cfg.MaxRuns > 0 {
+		return db.cfg.MaxRuns
+	}
+	return 4 * db.compactRunsWatermark()
+}
+
+// sealDeltaLocked converts the active delta into an immutable run and
+// wakes the compactor. Sealing is O(feature sets): the run takes over the
+// delta's maps and indexes.
+func (db *DB) sealDeltaLocked() {
+	db.runs = append(db.runs, db.delta.Seal(db.walSeq))
+	db.delta = nil
+	db.metrics.Gauge("stpq_ingest_runs").Set(float64(len(db.runs)))
+	if len(db.runs) >= db.compactRunsWatermark() {
+		db.nudgeCompactor()
+	}
+}
+
+// nudgeCompactor wakes the compactor goroutine without blocking. Callers
+// hold db.mu.
+func (db *DB) nudgeCompactor() {
+	if db.compactC == nil {
+		return
+	}
+	select {
+	case db.compactC <- struct{}{}:
+	default:
+	}
 }
 
 // autoFlushThreshold resolves Config.AutoFlushOps (0 = default, negative =
@@ -443,28 +577,52 @@ func (db *DB) ensureDeltaLocked() error {
 	return nil
 }
 
-// publishOverlayLocked builds and swaps in a new overlay generation: the
-// base object tree filtered by tombstones, per-set feature groups made of
-// tombstone-filtered base parts plus an immutable clone of the delta part,
-// and the delta-resident objects merged at query time. The generation bump
-// invalidates serve-layer result caches exactly like a Rebuild.
+// publishOverlayLocked builds and swaps in a new overlay generation over
+// the pending layers — sealed runs plus a snapshot of the active delta.
+// The base object tree is filtered by the union of every layer's
+// tombstones; each feature group stacks tombstone-filtered base parts,
+// then each layer's part filtered by the tombstones of newer layers only
+// (so a layer's own upserts stay visible); layer-resident objects merge at
+// query time. The generation bump invalidates serve-layer result caches
+// exactly like a Rebuild.
 func (db *DB) publishOverlayLocked() error {
-	d := db.delta
-	objView := db.base.Objects().WithExclude(d.DeadObjects)
+	layers := make([]*ingest.Layer, 0, len(db.runs)+1)
+	for _, r := range db.runs {
+		r := r
+		layers = append(layers, &r.Layer)
+	}
+	if db.delta != nil && !db.delta.Empty() {
+		// Snapshot, not a view: the published engine must not share maps
+		// with the delta, which keeps mutating under later Applies.
+		snap, err := db.delta.Snapshot()
+		if err != nil {
+			return fmt.Errorf("stpq: snapshotting delta: %w", err)
+		}
+		layers = append(layers, snap)
+	}
+	if len(layers) == 0 {
+		db.engine = db.base
+		db.metrics.Gauge("stpq_ingest_delta_objects").Set(0)
+		db.metrics.Gauge("stpq_ingest_delta_ops").Set(0)
+		db.gen++
+		db.inverted = nil
+		return nil
+	}
+	deadObj := ingest.UnionDead(layers)
+	objView := db.base.Objects().WithExclude(deadObj)
 	groups := make([]*index.FeatureGroup, len(db.setNames))
 	for i := range db.setNames {
-		ds := d.Sets[i]
+		deadAll := ingest.UnionDeadSet(layers, i)
 		baseParts := db.base.FeatureGroups()[i].Parts()
-		parts := make([]*index.FeatureIndex, 0, len(baseParts)+1)
+		parts := make([]*index.FeatureIndex, 0, len(baseParts)+len(layers))
 		for _, p := range baseParts {
-			parts = append(parts, p.WithExclude(ds.Dead))
+			parts = append(parts, p.WithExclude(deadAll))
 		}
-		if len(ds.Feats) > 0 {
-			clone, err := d.CloneIndex(i)
-			if err != nil {
-				return fmt.Errorf("stpq: cloning delta set %d: %w", i, err)
+		for j, l := range layers {
+			if l.Sets[i].Idx == nil {
+				continue
 			}
-			parts = append(parts, clone)
+			parts = append(parts, l.Sets[i].Idx.WithExclude(ingest.UnionDeadSet(layers[j+1:], i)))
 		}
 		g, err := index.NewFeatureGroup(parts...)
 		if err != nil {
@@ -476,88 +634,26 @@ func (db *DB) publishOverlayLocked() error {
 	if err != nil {
 		return err
 	}
-	live := len(db.objByID) + len(d.Objects)
-	for id := range d.DeadObjects {
-		if _, ok := db.objByID[id]; ok {
+	deltaObjs := ingest.FoldObjects(layers)
+	live := len(db.objLoc) + len(deltaObjs)
+	for id := range deadObj {
+		if _, ok := db.objLoc[id]; ok {
 			live--
 		}
 	}
-	overlay := ingest.NewOverlay(eng, d.Objects, live)
+	overlay := ingest.NewOverlay(eng, deltaObjs, live)
 	db.engine = overlay
+	pending := 0
+	for _, r := range db.runs {
+		pending += r.Ops
+	}
+	if db.delta != nil {
+		pending += db.delta.Ops()
+	}
 	db.metrics.Gauge("stpq_ingest_delta_objects").Set(float64(overlay.DeltaObjects()))
-	db.metrics.Gauge("stpq_ingest_delta_ops").Set(float64(d.Ops()))
+	db.metrics.Gauge("stpq_ingest_delta_ops").Set(float64(pending))
 	db.gen++
 	db.inverted = nil
-	return nil
-}
-
-// mergeLocked folds the delta (plus an optional trailing batch that could
-// not go through the delta) into the raw data and rebuilds the base —
-// the merge half of the merge/swap lifecycle. buildLocked publishes the
-// new generation atomically; in-flight queries drain on the old engine.
-func (db *DB) mergeLocked(extra []Mutation) error {
-	deadObj := make(map[int64]struct{})
-	upsObj := make(map[int64]Object)
-	deadFeat := make([]map[int64]struct{}, len(db.setNames))
-	upsFeat := make([]map[int64]Feature, len(db.setNames))
-	for i := range db.setNames {
-		deadFeat[i] = make(map[int64]struct{})
-		upsFeat[i] = make(map[int64]Feature)
-	}
-	if d := db.delta; d != nil {
-		for id := range d.DeadObjects {
-			deadObj[id] = struct{}{}
-		}
-		for id, o := range d.Objects {
-			upsObj[id] = Object{ID: id, X: o.Location.X, Y: o.Location.Y}
-		}
-		for i, ds := range d.Sets {
-			for id := range ds.Dead {
-				deadFeat[i][id] = struct{}{}
-			}
-			for id, f := range ds.Feats {
-				upsFeat[i][id] = Feature{
-					ID: id, X: f.Location.X, Y: f.Location.Y,
-					Score:    f.Score,
-					Keywords: db.vocab.Decode(f.Keywords),
-				}
-			}
-		}
-	}
-	for _, m := range extra {
-		switch m.Op {
-		case OpUpsertObject:
-			deadObj[m.Object.ID] = struct{}{}
-			upsObj[m.Object.ID] = *m.Object
-		case OpDeleteObject:
-			deadObj[m.ID] = struct{}{}
-			delete(upsObj, m.ID)
-		case OpUpsertFeature:
-			i := db.setPosLocked(m.Set)
-			deadFeat[i][m.Feature.ID] = struct{}{}
-			upsFeat[i][m.Feature.ID] = *m.Feature
-		case OpDeleteFeature:
-			i := db.setPosLocked(m.Set)
-			deadFeat[i][m.ID] = struct{}{}
-			delete(upsFeat[i], m.ID)
-		}
-	}
-	db.objects = foldSlice(db.objects, deadObj, upsObj, func(o Object) int64 { return o.ID })
-	for i, name := range db.setNames {
-		db.sets[name] = foldSlice(db.sets[name], deadFeat[i], upsFeat[i], func(f Feature) int64 { return f.ID })
-	}
-	// Intern into a clone so snapshots of the previous generation keep a
-	// stable vocabulary (same contract as Rebuild).
-	db.vocab = db.vocab.Clone()
-	db.delta = nil
-	if err := db.buildLocked(); err != nil {
-		return err
-	}
-	if db.ingestMerges != nil {
-		db.ingestMerges.Inc()
-	}
-	db.metrics.Gauge("stpq_ingest_delta_objects").Set(0)
-	db.metrics.Gauge("stpq_ingest_delta_ops").Set(0)
 	return nil
 }
 

@@ -219,6 +219,37 @@ func (x *FeatureIndex) Delete(id int64, loc geo.Point) (bool, error) {
 	return x.tree.Delete(id, loc)
 }
 
+// ErrSignatureMerge is returned by BeginMerge for signature-mode indexes:
+// the record file is shared mutable state, so incremental merges cannot
+// preserve snapshot isolation and callers must fall back to a rebuild.
+var ErrSignatureMerge = fmt.Errorf("index: signature-mode indexes do not support incremental merge")
+
+// CanMerge reports whether BeginMerge is supported for this index.
+func (x *FeatureIndex) CanMerge() bool { return x.sigBits == 0 }
+
+// BeginMerge returns a mutable copy-on-write clone of the index for an
+// incremental merge. The clone reads the same pages through a
+// storage.CowDisk, so Insert/Delete on it rewrite only the touched
+// subtree pages in a private overlay while the original index — and any
+// snapshot pinned to it — keeps reading the original bytes. The clone is
+// a fully independent index once returned; publishing it and dropping
+// the original completes the merge.
+func (x *FeatureIndex) BeginMerge() (*FeatureIndex, error) {
+	if x.sigBits > 0 {
+		return nil, ErrSignatureMerge
+	}
+	cfg := x.tree.Config()
+	cfg.Disk = storage.NewCowDisk(cfg.Disk)
+	tree, err := rtree.Open(cfg, x.tree.Meta())
+	if err != nil {
+		return nil, err
+	}
+	c := *x
+	c.tree = tree
+	c.opts.Disk = cfg.Disk
+	return &c, nil
+}
+
 // WithExclude returns a read view of the index that hides the listed
 // feature ids — the tombstone filter of the live-ingest overlay. The
 // exclusion survives Session (the per-query view copies the tree handle,
@@ -357,6 +388,18 @@ func (x *ObjectIndex) Insert(o Object) error {
 // reporting whether it was found.
 func (x *ObjectIndex) Delete(id int64, loc geo.Point) (bool, error) {
 	return x.tree.Delete(id, loc)
+}
+
+// BeginMerge returns a mutable copy-on-write clone of the object index
+// (see FeatureIndex.BeginMerge).
+func (x *ObjectIndex) BeginMerge() (*ObjectIndex, error) {
+	cfg := x.tree.Config()
+	cfg.Disk = storage.NewCowDisk(cfg.Disk)
+	tree, err := rtree.Open(cfg, x.tree.Meta())
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectIndex{tree: tree}, nil
 }
 
 // WithExclude returns a read view of the index that hides the listed

@@ -1,0 +1,68 @@
+package ingest
+
+// compact.go holds the pacing machinery of the background compactor: the
+// expensive part of a compaction (applying net mutations to copy-on-write
+// index clones) runs without locks, and the Pacer throttles it so the
+// foreground read path keeps its latency when the serving layer is
+// saturated.
+
+import (
+	"runtime"
+	"time"
+)
+
+// Pacer rate-limits background index work. Apply loops call Tick after
+// every operation; at each ChunkOps boundary the pacer yields the
+// processor and — when the Gate reports foreground saturation — sleeps
+// Pause before continuing, bounding the compactor's page throughput while
+// queries are queueing.
+type Pacer struct {
+	// ChunkOps is the number of operations between pacing points
+	// (default 512).
+	ChunkOps int
+	// Pause is how long to back off at a pacing point while the gate is
+	// saturated (default 2ms).
+	Pause time.Duration
+	// Gate reports whether the foreground is saturated (e.g. the serve
+	// admission queue is non-empty). Nil means never saturated.
+	Gate func() bool
+
+	ops     int
+	stalled time.Duration
+}
+
+// Tick records one completed operation and paces at chunk boundaries.
+func (p *Pacer) Tick() {
+	if p == nil {
+		return
+	}
+	p.ops++
+	chunk := p.ChunkOps
+	if chunk <= 0 {
+		chunk = 512
+	}
+	if p.ops%chunk != 0 {
+		return
+	}
+	pause := p.Pause
+	if pause <= 0 {
+		pause = 2 * time.Millisecond
+	}
+	// Back off while the foreground is saturated, but never indefinitely:
+	// the compactor must still finish under sustained load, or runs pile
+	// up and write backpressure kicks in.
+	for i := 0; i < 8 && p.Gate != nil && p.Gate(); i++ {
+		time.Sleep(pause)
+		p.stalled += pause
+	}
+	runtime.Gosched()
+}
+
+// Stalled returns the cumulative time the pacer slept waiting for the
+// foreground gate.
+func (p *Pacer) Stalled() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.stalled
+}

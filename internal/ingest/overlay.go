@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"sort"
+	"sync"
 
 	"stpq/internal/core"
 	"stpq/internal/geo"
@@ -27,6 +28,16 @@ type Overlay struct {
 	// delta objects in ascending id order (determinism of the merge loop).
 	delta []index.Object
 	n     int
+
+	// scorer is the amortized exact-score closure over the feature
+	// universe, materialized lazily on the first query that has delta
+	// objects to merge and reused for the overlay's lifetime — the
+	// wrapped engine is immutable for one generation, so one
+	// materialization serves every query instead of one full feature
+	// scan per delta object per query.
+	scorerOnce sync.Once
+	scorer     func(q core.Query, p geo.Point) float64
+	scorerErr  error
 }
 
 // NewOverlay wraps eng. deltaObjects are the objects living only in the
@@ -70,14 +81,14 @@ func (o *Overlay) mergeDelta(base []core.Result, q core.Query) ([]core.Result, e
 	if len(o.delta) == 0 {
 		return base, nil
 	}
+	o.scorerOnce.Do(func() { o.scorer, o.scorerErr = o.eng.ExactScorer() })
+	if o.scorerErr != nil {
+		return nil, o.scorerErr
+	}
 	merged := make([]core.Result, 0, len(base)+len(o.delta))
 	merged = append(merged, base...)
 	for _, ob := range o.delta {
-		s, err := o.eng.ExactScore(q, ob.Location)
-		if err != nil {
-			return nil, err
-		}
-		merged = append(merged, core.Result{ID: ob.ID, Location: ob.Location, Score: s})
+		merged = append(merged, core.Result{ID: ob.ID, Location: ob.Location, Score: o.scorer(q, ob.Location)})
 	}
 	sort.Slice(merged, func(i, j int) bool { return core.ResultBefore(merged[i], merged[j]) })
 	if len(merged) > q.K {

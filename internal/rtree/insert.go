@@ -95,6 +95,7 @@ func (t *Tree) finishInsert(pid storagePage, n *Node, prev, inserted Entry) (*En
 		agg.Child = pid
 		return nil, &agg, nil
 	}
+	t.splits++
 	a, b := t.quadraticSplit(n.Entries)
 	nodeA := &Node{Leaf: n.Leaf, Entries: a}
 	nodeB := &Node{Leaf: n.Leaf, Entries: b}

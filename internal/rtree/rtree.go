@@ -100,6 +100,11 @@ type Tree struct {
 	leafCap  int
 	innerCap int
 	minFill  int
+	// splits counts overflow splits performed by Insert since the tree
+	// was built or opened — the degradation signal incremental merges use
+	// to decide when the tree has drifted far enough from its bulk-loaded
+	// shape to warrant a full rebuild.
+	splits int
 	// exclude hides the listed item ids from every read path (see
 	// WithExclude); nil on the canonical tree.
 	exclude map[int64]struct{}
@@ -206,6 +211,10 @@ func (t *Tree) Height() int { return t.height }
 
 // Len returns the number of indexed items.
 func (t *Tree) Len() int { return t.size }
+
+// Splits returns the number of overflow splits Insert has performed
+// since the tree was built or opened.
+func (t *Tree) Splits() int { return t.splits }
 
 // LeafCapacity returns the maximum number of entries in a leaf node.
 func (t *Tree) LeafCapacity() int { return t.leafCap }

@@ -286,6 +286,9 @@ type Info struct {
 	GoVersion     string  `json:"go_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Shards        int     `json:"shards"`
+	// Ingest summarizes the live write path: pending mutations, sealed
+	// runs, merge-path counters and the latest merge/stall durations.
+	Ingest stpq.IngestStatus `json:"ingest"`
 }
 
 // infoKeywords caps the per-set keyword sample in /info.
@@ -335,6 +338,7 @@ func (s *Service) InfoSnapshot() (Info, error) {
 		GoVersion:     runtime.Version(),
 		UptimeSeconds: s.Uptime().Seconds(),
 		Shards:        snap.NumShards(),
+		Ingest:        s.db.IngestStatus(),
 	}
 	for _, name := range snap.FeatureSetNames() {
 		stats, err := s.db.KeywordStats(name)

@@ -216,6 +216,12 @@ func (s *Service) Metrics() *obs.Registry { return s.metrics }
 // DB returns the database the service fronts.
 func (s *Service) DB() *stpq.DB { return s.db }
 
+// Saturated reports whether admitted queries are waiting for a worker —
+// the foreground-pressure probe the background compactor's pacing gate
+// consumes (stpq.DB.SetCompactionGate): while queries queue, compaction
+// work backs off.
+func (s *Service) Saturated() bool { return len(s.tasks) > 0 }
+
 // Do validates, admits and executes one query, consulting the result
 // cache first. It returns ErrOverloaded when the queue is full,
 // ErrDeadline when the context (or Config.Timeout) expires before the

@@ -26,6 +26,13 @@ type dbManifest struct {
 	// AppliedSeq is the WAL sequence number this snapshot is current
 	// through: replay after Open starts at AppliedSeq+1.
 	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
+	// FileGen, when non-zero, stamps the page-dump file names
+	// ("objects.<FileGen hex>.pages"), so a checkpoint never overwrites
+	// the files the previous manifest points at: the new files land
+	// first, the manifest rename flips the generation atomically, and a
+	// crash in between leaves the old checkpoint fully intact. Zero means
+	// the legacy unstamped names.
+	FileGen uint64 `json:"fileGen,omitempty"`
 }
 
 const manifestName = "stpq.json"
@@ -129,7 +136,7 @@ func (db *DB) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("stpq: save manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, manifestName), data); err != nil {
 		return fmt.Errorf("stpq: save manifest: %w", err)
 	}
 	return db.SaveShapes(dir)
@@ -215,6 +222,129 @@ func openSharded(dir string, man dbManifest) (*DB, error) {
 	return db, nil
 }
 
+// pageFile returns the page-dump file name for an index under a file
+// generation (0 = the legacy unstamped name written by Save).
+func pageFile(base string, gen uint64) string {
+	if gen == 0 {
+		return base + ".pages"
+	}
+	return fmt.Sprintf("%s.%016x.pages", base, gen)
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so
+// readers (and crash recovery) see either the old contents or the new,
+// never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ckptPin is the state a Checkpoint captures under the DB locks: the
+// merged engine (whose pages are immutable by construction — later
+// partial merges write only copy-on-write overlays over them) plus the
+// metadata the manifest needs. save then streams it to disk with no DB
+// locks held.
+type ckptPin struct {
+	eng      *core.Engine
+	cfg      Config
+	vocab    []string
+	setNames []string
+	seq      uint64
+}
+
+// pinCheckpointLocked captures the current merged generation for a
+// lock-free checkpoint save. Callers hold ingestMu and db.mu and have
+// already merged every pending generation, so db.engine is the base.
+func (db *DB) pinCheckpointLocked(seq uint64) (*ckptPin, error) {
+	if db.cfg.SignatureBits > 0 {
+		return nil, index.ErrSignaturePersist
+	}
+	eng, ok := db.engine.(*core.Engine)
+	if !ok {
+		return nil, fmt.Errorf("stpq: checkpoint requires an unsharded, fully merged engine (have %T)", db.engine)
+	}
+	names := make([]string, len(db.setNames))
+	copy(names, db.setNames)
+	return &ckptPin{
+		eng:      eng,
+		cfg:      db.cfg,
+		vocab:    db.vocab.Words(),
+		setNames: names,
+		seq:      seq,
+	}, nil
+}
+
+// save writes the pinned generation to dir atomically: page dumps land
+// under names stamped with the WAL sequence, the manifest is renamed into
+// place last, and page files no manifest references any more are garbage
+// collected afterwards. A crash at any point leaves the directory opening
+// to a consistent checkpoint (the previous one until the manifest rename,
+// this one after).
+func (p *ckptPin) save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("stpq: checkpoint: %w", err)
+	}
+	fileGen := p.seq
+	if fileGen == 0 {
+		// A checkpoint before any WAL append still gets a stamped (and
+		// therefore atomically replaceable) file generation.
+		fileGen = 1
+	}
+	man := dbManifest{
+		Version:    1,
+		Config:     p.cfg,
+		Vocab:      p.vocab,
+		SetNames:   p.setNames,
+		AppliedSeq: p.seq,
+		FileGen:    fileGen,
+	}
+	keep := map[string]bool{}
+	var err error
+	name := pageFile("objects", fileGen)
+	keep[name] = true
+	man.Objects, err = saveIndex(filepath.Join(dir, name), p.eng.Objects().Save)
+	if err != nil {
+		return err
+	}
+	for i, g := range p.eng.FeatureGroups() {
+		// A merged engine always holds single-part groups.
+		name = pageFile(fmt.Sprintf("features_%d", i), fileGen)
+		keep[name] = true
+		meta, err := saveIndex(filepath.Join(dir, name), g.Part(0).Save)
+		if err != nil {
+			return err
+		}
+		man.Features = append(man.Features, meta)
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stpq: checkpoint manifest: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, manifestName), data); err != nil {
+		return fmt.Errorf("stpq: checkpoint manifest: %w", err)
+	}
+	gcPageFiles(dir, keep)
+	return nil
+}
+
+// gcPageFiles removes page dumps of superseded checkpoint generations.
+// Best-effort: a leftover file wastes disk but harms nothing, so errors
+// are ignored (the next checkpoint retries).
+func gcPageFiles(dir string, keep map[string]bool) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.pages"))
+	if err != nil {
+		return
+	}
+	for _, path := range matches {
+		if !keep[filepath.Base(path)] {
+			os.Remove(path)
+		}
+	}
+}
+
 // saveIndex dumps one index's pages to a file.
 func saveIndex(path string, dump func(w io.Writer) (index.Meta, error)) (index.Meta, error) {
 	f, err := os.Create(path)
@@ -263,13 +393,13 @@ func Open(dir string) (*DB, error) {
 	}
 	buffer := man.Config.BufferPages
 
-	oidx, err := openIndex(filepath.Join(dir, "objects.pages"), man.Objects, buffer, index.OpenObjectIndex)
+	oidx, err := openIndex(filepath.Join(dir, pageFile("objects", man.FileGen)), man.Objects, buffer, index.OpenObjectIndex)
 	if err != nil {
 		return nil, err
 	}
 	fidxs := make([]*index.FeatureIndex, len(man.Features))
 	for i, meta := range man.Features {
-		fidxs[i], err = openIndex(filepath.Join(dir, fmt.Sprintf("features_%d.pages", i)), meta, buffer, index.OpenFeatureIndex)
+		fidxs[i], err = openIndex(filepath.Join(dir, pageFile(fmt.Sprintf("features_%d", i), man.FileGen)), meta, buffer, index.OpenFeatureIndex)
 		if err != nil {
 			return nil, err
 		}

@@ -282,11 +282,13 @@ func (db *DB) Rebuild() error {
 	if len(db.objects) == 0 {
 		return fmt.Errorf("stpq: Rebuild requires the raw data, which DBs loaded with Open do not retain")
 	}
-	if db.delta != nil && !db.delta.Empty() {
-		// Fold pending live-ingest mutations into the raw data so the
-		// rebuild does not lose them; mergeLocked clones the vocabulary
-		// and runs buildLocked itself.
-		return db.mergeLocked(nil)
+	if db.pendingLocked() {
+		// Fold pending live-ingest mutations (sealed runs and the active
+		// delta) into the raw data so the rebuild does not lose them. The
+		// merge is forced down the full-rebuild path because raw data may
+		// have been added since the last build; mergeLocked clones the
+		// vocabulary and runs buildLocked itself.
+		return db.mergeLocked(nil, true)
 	}
 	// Intern into a clone so queries on the previous snapshot keep a
 	// stable vocabulary; buildLocked swaps db.engine and bumps db.gen.

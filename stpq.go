@@ -115,6 +115,26 @@ const (
 	ShardGrid
 )
 
+// MergePolicy selects how the live write path folds pending mutations
+// into the base indexes on Flush, auto-flush and compaction.
+type MergePolicy int
+
+const (
+	// MergeAuto (default) applies the delta incrementally into
+	// copy-on-write clones of the base indexes — merge cost proportional
+	// to the delta, not the base — and falls back to a full rebuild when
+	// the tree-quality heuristic reports degradation (cumulative
+	// incremental drift, overflow-split count, or height growth past the
+	// bulk-loaded baseline).
+	MergeAuto MergePolicy = iota
+	// MergeIncremental always merges incrementally, skipping the
+	// degradation fallback (benchmarks and tests).
+	MergeIncremental
+	// MergeRebuild always re-bulk-loads the whole engine — the pre-
+	// generational behaviour, kept as the benchmark baseline.
+	MergeRebuild
+)
+
 // Algorithm selects the query processing strategy.
 type Algorithm int
 
@@ -223,9 +243,38 @@ type Config struct {
 	// every checkpointed segment immediately.
 	WALRetainSegments int
 	// AutoFlushOps bounds the in-memory delta: when this many mutations
-	// accumulate, Apply merges them into a new base generation. 0 means
+	// accumulate, Apply merges them into a new base generation (or, under
+	// BackgroundCompaction, seals them into a run). 0 means
 	// DefaultAutoFlushOps; negative disables auto-flush (Flush manually).
 	AutoFlushOps int
+	// MergePolicy selects incremental vs full-rebuild merging (default
+	// MergeAuto: incremental with a degradation fallback).
+	MergePolicy MergePolicy
+	// MergeDriftRatio is the degradation threshold of MergeAuto: a full
+	// rebuild replaces the incremental path once the net mutations merged
+	// incrementally since the last bulk load exceed this fraction of the
+	// live data size. 0 means the default 0.5.
+	MergeDriftRatio float64
+	// BackgroundCompaction moves merge work off the write path: reaching
+	// the auto-flush threshold seals the delta into an immutable run
+	// (O(feature sets), not O(delta)) and a compactor goroutine folds
+	// runs into the base behind watermarks, swapping generations under a
+	// short critical section. Requires an attached WAL.
+	BackgroundCompaction bool
+	// CompactRuns is the sealed-run-count watermark that wakes the
+	// compactor (default 4).
+	CompactRuns int
+	// MaxRuns is the write-backpressure cap: when sealing would exceed
+	// this many runs, Apply merges synchronously instead (counted by
+	// stpq_ingest_write_stalls_total). 0 means 4×CompactRuns.
+	MaxRuns int
+	// CompactChunkOps is the number of index operations between the
+	// background compactor's pacing points (default 512).
+	CompactChunkOps int
+	// CompactPause is how long the compactor backs off at a pacing point
+	// while the foreground gate (SetCompactionGate) reports saturation
+	// (default 2ms).
+	CompactPause time.Duration
 }
 
 // Query is a top-k spatio-textual preference query.
@@ -327,20 +376,46 @@ type DB struct {
 	built    bool
 	gen      uint64 // build generation: 1 after Build, +1 per Rebuild
 
-	// Live ingest state (see ingest.go). ingestMu serializes writers and
-	// orders WAL appends; it is acquired before db.mu and never held
-	// during queries, so fsyncs do not block readers.
+	// Live ingest state (see ingest.go, compaction.go). ingestMu
+	// serializes writers and orders WAL appends; it is acquired before
+	// db.mu and never held during queries, so fsyncs do not block readers.
 	ingestMu   sync.Mutex
 	wal        *ingest.WAL
 	delta      *ingest.Delta // nil when no unmerged mutations
+	runs       []*ingest.Run // sealed generations awaiting compaction, oldest first
 	base       *core.Engine  // the unsharded base engine, nil when sharded
-	objByID    map[int64]struct{}
+	objLoc     map[int64]geo.Point
+	featLoc    []map[int64]geo.Point
 	walSeq     uint64 // last WAL seq applied in memory
 	appliedSeq uint64 // last WAL seq durable in a checkpoint manifest
+
+	// Incremental-merge bookkeeping (see compaction.go). mergeEpoch
+	// invalidates a background compaction whose pinned base was replaced
+	// mid-flight; the drift counters feed the degradation fallback.
+	mergeEpoch    uint64
+	incrOps       int // net ops merged incrementally since the last bulk load
+	incrSplits    int // overflow splits absorbed incrementally since the last bulk load
+	baseHeights   []int
+	lastMergeSecs float64
+	lastStallSecs float64
+
+	// Background compactor plumbing; nil unless Config.BackgroundCompaction.
+	compactC    chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
+	compactGate func() bool
+
+	ckptMu sync.Mutex // serializes Checkpoint's lock-free disk phase
 
 	ingestApplied  *obs.Counter
 	ingestReplayed *obs.Counter
 	ingestMerges   *obs.Counter
+	partialMerges  *obs.Counter
+	fullRebuilds   *obs.Counter
+	compactions    *obs.Counter
+	compactsLost   *obs.Counter
+	writeStalls    *obs.Counter
+	mergeSeconds   *obs.Histogram
 }
 
 // New creates an empty DB.
@@ -495,19 +570,62 @@ func (db *DB) buildLocked() error {
 		db.engine = eng
 		db.base = eng
 	}
-	db.objByID = make(map[int64]struct{}, len(db.objects))
-	for _, o := range db.objects {
-		db.objByID[o.ID] = struct{}{}
-	}
+	db.rebuildLocMapsLocked()
 	// Feature pool metrics attach to the groups, which both engine kinds
 	// expose (sharded groups add a _partNN suffix per cell).
 	for i, name := range db.setNames {
 		db.engine.FeatureGroups()[i].AttachMetrics(db.metrics, poolLabel(name))
 	}
+	// A bulk load resets the incremental-merge drift accounting: the trees
+	// are freshly packed, and their heights become the degradation
+	// baseline for subsequent partial merges.
+	db.runs = nil
+	db.incrOps = 0
+	db.incrSplits = 0
+	db.recordBaseShapeLocked()
+	db.mergeEpoch++
 	db.built = true
 	db.gen++
 	db.inverted = nil // stale after a rebuild; lazily rebuilt by KeywordStats
 	return nil
+}
+
+// rebuildLocMapsLocked derives the id→location maps from the raw slices.
+// Partial merges need them to delete base items (rtree.Delete requires the
+// exact location); they are maintained incrementally at every merge swap
+// so the write path never rescans the base. Sharded engines have no write
+// path and skip them.
+func (db *DB) rebuildLocMapsLocked() {
+	if db.base == nil {
+		db.objLoc, db.featLoc = nil, nil
+		return
+	}
+	db.objLoc = make(map[int64]geo.Point, len(db.objects))
+	for _, o := range db.objects {
+		db.objLoc[o.ID] = geo.Point{X: o.X, Y: o.Y}
+	}
+	db.featLoc = make([]map[int64]geo.Point, len(db.setNames))
+	for i, name := range db.setNames {
+		m := make(map[int64]geo.Point, len(db.sets[name]))
+		for _, f := range db.sets[name] {
+			m[f.ID] = geo.Point{X: f.X, Y: f.Y}
+		}
+		db.featLoc[i] = m
+	}
+}
+
+// recordBaseShapeLocked captures the base trees' heights as the
+// degradation baseline for the incremental-merge quality heuristic.
+func (db *DB) recordBaseShapeLocked() {
+	if db.base == nil {
+		db.baseHeights = nil
+		return
+	}
+	db.baseHeights = make([]int, 1+len(db.setNames))
+	db.baseHeights[0] = db.base.Objects().Tree().Height()
+	for i := range db.setNames {
+		db.baseHeights[1+i] = db.base.FeatureGroups()[i].Part(0).Tree().Height()
+	}
 }
 
 // coreOptions lowers the public config (plus the DB's metrics registry and
