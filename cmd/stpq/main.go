@@ -53,6 +53,8 @@ func main() {
 		openDir     = flag.String("open", "", "open a saved database instead of loading CSVs")
 		trace       = flag.Bool("trace", false, "collect and print the query's span tree (phase timings and page reads)")
 		explain     = flag.Bool("explain", false, "print the query plan (algorithm, shard order, predicted cost) before executing")
+		mode        = flag.String("mode", "exact", "execution tier: exact | approx (MinHash/LSH fast tier)")
+		recall      = flag.Float64("recall", 0, "approx-mode recall target in (0,1]; 0 uses the default")
 	)
 	flag.Var(&featFiles, "features", "feature set CSV (repeatable)")
 	flag.Var(&kwArgs, "kw", "query keywords for the matching -features flag, ';' separated (repeatable)")
@@ -138,6 +140,14 @@ func main() {
 	default:
 		log.Fatalf("unknown -sim %q", *sim)
 	}
+	switch *mode {
+	case "exact":
+	case "approx":
+		q.Mode = stpq.ModeApprox
+		q.Recall = *recall
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
 
 	db.SetTracing(*trace)
 	if *explain {
@@ -158,6 +168,10 @@ func main() {
 	}
 	fmt.Printf("\ncost: %v CPU + %v modeled I/O (%d logical / %d physical page reads)\n",
 		stats.CPUTime, stats.IOTime, stats.LogicalReads, stats.PhysicalReads)
+	if q.Mode == stpq.ModeApprox {
+		fmt.Printf("approx: %d candidates tested, %d pruned by LSH, %d verification reads skipped\n",
+			stats.ApproxCandidates, stats.ApproxPruned, stats.ApproxSkippedReads)
+	}
 	if *trace {
 		fmt.Printf("\ntrace:\n%s", stats.Trace)
 	}

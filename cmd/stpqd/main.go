@@ -58,6 +58,9 @@ func main() {
 		vocab     = flag.Int("vocab", 256, "synthetic vocabulary size")
 		seed      = flag.Int64("seed", 1, "synthetic random seed")
 		indexKind = flag.String("index", "srt", "feature index for -synthetic: srt | ir2")
+		sigBits   = flag.Int("signature-bits", 0, "-synthetic with -index ir2: superimposed signature bits per keyword (0 = exact bitmaps)")
+		pageSize  = flag.Int("page-size", 0, "-synthetic: index page size in bytes (0 = library default)")
+		bufPages  = flag.Int("buffer-pages", 0, "-synthetic: buffer pool pages per index (0 = library default)")
 		shards    = flag.Int("shards", 0, "partition -synthetic data into N shards queried scatter-gather (0 or 1 = single engine)")
 		strategy  = flag.String("shard-strategy", "hilbert", "shard partitioner: hilbert | grid")
 		workers   = flag.Int("workers", 0, "concurrent query executors (0 = GOMAXPROCS)")
@@ -97,7 +100,8 @@ func main() {
 	cfg := daemonConfig{
 		addr: *addr, open: *open, synthetic: *synthetic,
 		objects: *objects, features: *features, sets: *sets, vocab: *vocab,
-		seed: *seed, indexKind: *indexKind, shards: *shards, strategy: *strategy,
+		seed: *seed, indexKind: *indexKind, sigBits: *sigBits,
+		pageSize: *pageSize, bufPages: *bufPages, shards: *shards, strategy: *strategy,
 		stripes: *stripes, pprofAddr: *pprofAddr, walDir: *walDir,
 		traceRate: *traceRate, slowQuery: *slowQuery,
 		bgCompact: *bgCompact, compactRuns: *compactRuns, flushOps: *flushOps,
@@ -162,6 +166,8 @@ type daemonConfig struct {
 	sets, vocab         int
 	seed                int64
 	indexKind, strategy string
+	sigBits             int
+	pageSize, bufPages  int
 	shards              int
 	stripes             int
 	pprofAddr           string
@@ -404,7 +410,9 @@ func loadDB(cfg daemonConfig) (*stpq.DB, error) {
 		log.Printf("building synthetic dataset: %d objects, %d×%d features, vocab %d, shards %d",
 			cfg.objects, cfg.sets, cfg.features, cfg.vocab, cfg.shards)
 		db := stpq.New(stpq.Config{
-			IndexKind: kind, ShardCount: cfg.shards, ShardStrategy: strat,
+			IndexKind: kind, SignatureBits: cfg.sigBits,
+			PageSize: cfg.pageSize, BufferPages: cfg.bufPages,
+			ShardCount: cfg.shards, ShardStrategy: strat,
 			PoolStripes: cfg.stripes, WALDir: cfg.walDir,
 			TraceSampleRate: cfg.traceRate, SlowQueryThreshold: cfg.slowQuery,
 			MergePolicy: cfg.mergePolicy, BackgroundCompaction: cfg.bgCompact,

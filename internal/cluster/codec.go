@@ -243,8 +243,18 @@ type WireQuery struct {
 	Similarity uint8
 	RequestID  string
 	Trace      bool
-	Sets       []WireKeywords
+	// Mode is 0 for exact, 1 for the approx fast tier; Recall is the approx
+	// recall target (0 takes the node's default).
+	Mode   uint8
+	Recall float64
+	Sets   []WireKeywords
 }
+
+// Wire values of WireQuery.Mode.
+const (
+	wireModeExact  uint8 = 0
+	wireModeApprox uint8 = 1
+)
 
 func encodeQuery(q WireQuery) []byte {
 	var e enc
@@ -256,6 +266,8 @@ func encodeQuery(q WireQuery) []byte {
 	e.u8(q.Similarity)
 	e.str(q.RequestID)
 	e.bool(q.Trace)
+	e.u8(q.Mode)
+	e.f64(q.Recall)
 	e.u64(uint64(len(q.Sets)))
 	for _, s := range q.Sets {
 		e.str(s.Name)
@@ -278,6 +290,8 @@ func decodeQuery(p []byte) (WireQuery, error) {
 		Similarity: d.u8(),
 		RequestID:  d.str(),
 		Trace:      d.bool(),
+		Mode:       d.u8(),
+		Recall:     d.f64(),
 	}
 	n := d.u64()
 	if n > uint64(len(p)) { // each set costs at least one byte on the wire
@@ -321,6 +335,11 @@ type WireStats struct {
 	Combinations   int64
 	FeaturesPulled int64
 	ObjectsScored  int64
+	// Approx* carry the node's fast-tier pruning counters (zero on exact
+	// queries), so the coordinator's merged stats keep the attribution.
+	ApproxCandidates   int64
+	ApproxPruned       int64
+	ApproxSkippedReads int64
 }
 
 // QueryReply answers msgQuery.
@@ -350,6 +369,9 @@ func encodeQueryReply(r QueryReply) []byte {
 	e.i64(r.Stats.Combinations)
 	e.i64(r.Stats.FeaturesPulled)
 	e.i64(r.Stats.ObjectsScored)
+	e.i64(r.Stats.ApproxCandidates)
+	e.i64(r.Stats.ApproxPruned)
+	e.i64(r.Stats.ApproxSkippedReads)
 	e.u64(r.Generation)
 	e.bool(r.Cached)
 	e.bytes(r.TraceJSON)
@@ -372,13 +394,16 @@ func decodeQueryReply(p []byte) (QueryReply, error) {
 		}
 	}
 	r.Stats = WireStats{
-		CPUNanos:       d.i64(),
-		IONanos:        d.i64(),
-		LogicalReads:   d.i64(),
-		PhysicalReads:  d.i64(),
-		Combinations:   d.i64(),
-		FeaturesPulled: d.i64(),
-		ObjectsScored:  d.i64(),
+		CPUNanos:           d.i64(),
+		IONanos:            d.i64(),
+		LogicalReads:       d.i64(),
+		PhysicalReads:      d.i64(),
+		Combinations:       d.i64(),
+		FeaturesPulled:     d.i64(),
+		ObjectsScored:      d.i64(),
+		ApproxCandidates:   d.i64(),
+		ApproxPruned:       d.i64(),
+		ApproxSkippedReads: d.i64(),
 	}
 	r.Generation = d.u64()
 	r.Cached = d.bool()

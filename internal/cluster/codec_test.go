@@ -21,6 +21,8 @@ func TestQueryRoundTrip(t *testing.T) {
 		Similarity: 3,
 		RequestID:  "req-0123456789abcdef",
 		Trace:      true,
+		Mode:       wireModeApprox,
+		Recall:     0.9,
 		Sets: []WireKeywords{
 			{Name: "cafes", Words: []string{"espresso", "latte"}},
 			{Name: "food", Words: []string{"pizza"}},

@@ -316,6 +316,10 @@ func toWire(q stpq.Query) WireQuery {
 		Similarity: uint8(q.Similarity),
 		RequestID:  q.RequestID,
 		Trace:      q.Trace == stpq.TraceOn,
+		Recall:     q.Recall,
+	}
+	if q.Mode == stpq.ModeApprox {
+		wq.Mode = wireModeApprox
 	}
 	if len(q.Keywords) > 0 {
 		names := make([]string, 0, len(q.Keywords))
@@ -516,6 +520,9 @@ func (c *Coordinator) run(q stpq.Query, wq WireQuery) (*ClusterResponse, error) 
 			resp.Stats.Sum.Combinations += r.Stats.Combinations
 			resp.Stats.Sum.FeaturesPulled += r.Stats.FeaturesPulled
 			resp.Stats.Sum.ObjectsScored += r.Stats.ObjectsScored
+			resp.Stats.Sum.ApproxCandidates += r.Stats.ApproxCandidates
+			resp.Stats.Sum.ApproxPruned += r.Stats.ApproxPruned
+			resp.Stats.Sum.ApproxSkippedReads += r.Stats.ApproxSkippedReads
 			resp.Stats.Cached = resp.Stats.Cached && r.Cached
 			if r.Generation > resp.Generation {
 				resp.Generation = r.Generation
@@ -549,10 +556,17 @@ func (c *Coordinator) recordEvent(q stpq.Query, resp *ClusterResponse, start tim
 		Duration:  elapsed,
 		Outcome:   "ok",
 	}
+	if q.Mode == stpq.ModeApprox {
+		ev.Mode = "approx"
+	}
 	if err != nil {
 		ev.Outcome = "error"
 		ev.Error = err.Error()
 	} else {
+		if q.Mode == stpq.ModeApprox {
+			ev.ApproxCandidates = resp.Stats.Sum.ApproxCandidates
+			ev.ApproxPruned = resp.Stats.Sum.ApproxPruned
+		}
 		ev.IOTime = time.Duration(resp.Stats.Sum.IONanos)
 		ev.LogicalReads = resp.Stats.Sum.LogicalReads
 		ev.PhysicalReads = resp.Stats.Sum.PhysicalReads
@@ -583,7 +597,11 @@ func shapeKeyOf(q stpq.Query) obs.ShapeKey {
 	if q.Variant == stpq.NearestNeighbor {
 		rb = 0
 	}
-	return obs.ShapeKey{Alg: alg, Variant: variant, Sim: sim, K: q.K, RBucket: obs.RadiusBucket(rb), Sets: sets}
+	key := obs.ShapeKey{Alg: alg, Variant: variant, Sim: sim, K: q.K, RBucket: obs.RadiusBucket(rb), Sets: sets}
+	if q.Mode == stpq.ModeApprox {
+		key.Mode = "approx"
+	}
+	return key
 }
 
 // waveWidth is the scatter wave width for one query: the configured

@@ -184,6 +184,10 @@ func toQuery(wq WireQuery) stpq.Query {
 		Algorithm:  stpq.Algorithm(wq.Algorithm),
 		Similarity: stpq.Similarity(wq.Similarity),
 		RequestID:  wq.RequestID,
+		Recall:     wq.Recall,
+	}
+	if wq.Mode == wireModeApprox {
+		q.Mode = stpq.ModeApprox
 	}
 	if wq.Trace {
 		q.Trace = stpq.TraceOn
@@ -233,13 +237,16 @@ func (n *Node) handleQuery(payload []byte) (byte, []byte) {
 		Generation: resp.Generation,
 		Cached:     resp.Cached,
 		Stats: WireStats{
-			CPUNanos:       int64(resp.Stats.CPUTime),
-			IONanos:        int64(resp.Stats.IOTime),
-			LogicalReads:   resp.Stats.LogicalReads,
-			PhysicalReads:  resp.Stats.PhysicalReads,
-			Combinations:   int64(resp.Stats.Combinations),
-			FeaturesPulled: int64(resp.Stats.FeaturesPulled),
-			ObjectsScored:  int64(resp.Stats.ObjectsScored),
+			CPUNanos:           int64(resp.Stats.CPUTime),
+			IONanos:            int64(resp.Stats.IOTime),
+			LogicalReads:       resp.Stats.LogicalReads,
+			PhysicalReads:      resp.Stats.PhysicalReads,
+			Combinations:       int64(resp.Stats.Combinations),
+			FeaturesPulled:     int64(resp.Stats.FeaturesPulled),
+			ObjectsScored:      int64(resp.Stats.ObjectsScored),
+			ApproxCandidates:   resp.Stats.ApproxCandidates,
+			ApproxPruned:       resp.Stats.ApproxPruned,
+			ApproxSkippedReads: resp.Stats.ApproxSkippedReads,
 		},
 	}
 	for i, r := range resp.Results {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stpq/internal/approx"
 	"stpq/internal/geo"
 	"stpq/internal/index"
 	"stpq/internal/kwset"
@@ -92,6 +93,14 @@ type Query struct {
 	// between-wave termination rule prunes only strictly out-scored
 	// shards. Not part of the query shape.
 	Fanout int
+	// Approx, when non-nil, runs the query in the approximate fast tier:
+	// MinHash/LSH candidate pruning (and, in signature mode with
+	// SkipVerify, estimated similarity scoring) replace exact textual
+	// verification. The request carries the lowered LSH parameters and
+	// the shared atomic pruning counters; query copies (shard fan-out,
+	// sessions) alias the same request, so counters aggregate across the
+	// whole logical query. nil = exact mode, the default.
+	Approx *approx.Request
 }
 
 // Validate checks query parameters against the engine shape.
@@ -114,7 +123,15 @@ func (q *Query) Validate(numFeatureSets int) error {
 
 // keywordsFor returns the per-set query keywords bundle.
 func (q *Query) keywordsFor(i int) index.QueryKeywords {
-	return index.QueryKeywords{Set: q.Keywords[i], Lambda: q.Lambda, Sim: q.Similarity}
+	return index.QueryKeywords{Set: q.Keywords[i], Lambda: q.Lambda, Sim: q.Similarity, Approx: q.Approx}
+}
+
+// Mode returns the query's execution-mode label: "exact" or "approx".
+func (q *Query) Mode() string {
+	if q.Approx != nil {
+		return "approx"
+	}
+	return "exact"
 }
 
 // Result is one data object of the top-k answer.
@@ -154,6 +171,15 @@ type Stats struct {
 	// sharded engine's scatter-gather; zero on unsharded engines.
 	ShardFanout int
 	ShardPruned int
+	// ApproxCandidates, ApproxPruned and ApproxSkippedReads report the
+	// approximate tier's work: leaf features checked against the MinHash
+	// sketch, those the LSH band filter rejected, and verification page
+	// reads the skip-verify path avoided. Zero in exact mode. They are
+	// loaded once per logical query from the shared approx request (the
+	// snapshot layer fills them), so per-shard sub-stats leave them zero.
+	ApproxCandidates   int64
+	ApproxPruned       int64
+	ApproxSkippedReads int64
 	// Trace is the query's span tree when tracing is enabled
 	// (Options.Trace), nil otherwise. The root span covers the whole
 	// query; its page-read deltas equal LogicalReads/PhysicalReads.
@@ -176,6 +202,9 @@ func (s *Stats) Add(other Stats) {
 	s.ObjectsScored += other.ObjectsScored
 	s.ShardFanout += other.ShardFanout
 	s.ShardPruned += other.ShardPruned
+	s.ApproxCandidates += other.ApproxCandidates
+	s.ApproxPruned += other.ApproxPruned
+	s.ApproxSkippedReads += other.ApproxSkippedReads
 }
 
 // Scale divides all counters by n, yielding per-query averages.
@@ -185,17 +214,20 @@ func (s Stats) Scale(n int) Stats {
 	}
 	d := time.Duration(n)
 	return Stats{
-		CPUTime:        s.CPUTime / d,
-		IOTime:         s.IOTime / d,
-		LogicalReads:   s.LogicalReads / int64(n),
-		PhysicalReads:  s.PhysicalReads / int64(n),
-		VoronoiCPUTime: s.VoronoiCPUTime / d,
-		VoronoiReads:   s.VoronoiReads / int64(n),
-		Combinations:   s.Combinations / n,
-		FeaturesPulled: s.FeaturesPulled / n,
-		ObjectsScored:  s.ObjectsScored / n,
-		ShardFanout:    s.ShardFanout / n,
-		ShardPruned:    s.ShardPruned / n,
+		CPUTime:            s.CPUTime / d,
+		IOTime:             s.IOTime / d,
+		LogicalReads:       s.LogicalReads / int64(n),
+		PhysicalReads:      s.PhysicalReads / int64(n),
+		VoronoiCPUTime:     s.VoronoiCPUTime / d,
+		VoronoiReads:       s.VoronoiReads / int64(n),
+		Combinations:       s.Combinations / n,
+		FeaturesPulled:     s.FeaturesPulled / n,
+		ObjectsScored:      s.ObjectsScored / n,
+		ShardFanout:        s.ShardFanout / n,
+		ShardPruned:        s.ShardPruned / n,
+		ApproxCandidates:   s.ApproxCandidates / int64(n),
+		ApproxPruned:       s.ApproxPruned / int64(n),
+		ApproxSkippedReads: s.ApproxSkippedReads / int64(n),
 	}
 }
 
@@ -570,6 +602,18 @@ func ObserveQuery(r *obs.Registry, alg string, q *Query, st *Stats) {
 	r.Counter("stpq_combinations_total" + label).Add(int64(st.Combinations))
 	r.Counter("stpq_features_pulled_total" + label).Add(int64(st.FeaturesPulled))
 	r.Counter("stpq_objects_scored_total" + label).Add(int64(st.ObjectsScored))
+	if a := q.Approx; a != nil {
+		// Read from the shared request, not st: the unsharded engine
+		// observes before the snapshot layer copies the counters into
+		// Stats, and the shard engine observes the merged query once after
+		// all waves — in both cases the request already holds the full
+		// totals for this logical query.
+		r.Counter("stpq_approx_queries_total" + label).Inc()
+		r.Histogram("stpq_approx_query_seconds"+label, obs.LatencyBuckets).Observe(st.Total().Seconds())
+		r.Counter("stpq_approx_candidates_total" + label).Add(a.Candidates.Load())
+		r.Counter("stpq_approx_pruned_total" + label).Add(a.Pruned.Load())
+		r.Counter("stpq_approx_skipped_reads_total" + label).Add(a.SkippedReads.Load())
+	}
 }
 
 // QueryShapeKey builds the canonical shape key of a query — the join key
@@ -581,7 +625,7 @@ func QueryShapeKey(alg string, q *Query) obs.ShapeKey {
 			sets++
 		}
 	}
-	return obs.ShapeKey{
+	key := obs.ShapeKey{
 		Alg:     alg,
 		Variant: q.Variant.String(),
 		Sim:     q.Similarity.String(),
@@ -589,6 +633,13 @@ func QueryShapeKey(alg string, q *Query) obs.ShapeKey {
 		RBucket: obs.RadiusBucket(q.Radius),
 		Sets:    sets,
 	}
+	// Approximate executions get their own shape dimension so the planner
+	// never mixes exact and approx cost statistics ("" = exact keeps old
+	// persisted shapes.json records merging onto the exact shapes).
+	if q.Approx != nil {
+		key.Mode = "approx"
+	}
+	return key
 }
 
 // RecordQueryEvent files one finished query into the telemetry bundle. It
@@ -617,6 +668,11 @@ func RecordQueryEvent(tel *obs.Telemetry, alg string, q *Query, st *Stats, start
 		ShardPruned:    st.ShardPruned,
 		Outcome:        "ok",
 		Trace:          st.Trace,
+	}
+	if a := q.Approx; a != nil {
+		ev.Mode = "approx"
+		ev.ApproxCandidates = a.Candidates.Load()
+		ev.ApproxPruned = a.Pruned.Load()
 	}
 	if err != nil {
 		ev.Outcome = "error"

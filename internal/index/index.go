@@ -23,6 +23,7 @@ package index
 import (
 	"fmt"
 
+	"stpq/internal/approx"
 	"stpq/internal/geo"
 	"stpq/internal/hilbert"
 	"stpq/internal/kwset"
@@ -115,6 +116,11 @@ type FeatureIndex struct {
 	opts    Options
 	sigBits int
 	records *recordFile // exact keywords, signature mode only
+	// sketch is the approximate tier's MinHash sketch slot, shared by all
+	// read views of one index generation (Session/WithExclude are shallow
+	// copies) and materialized lazily on the first approximate query.
+	// Mutating clones (BeginMerge) take a fresh holder.
+	sketch *approx.Holder
 }
 
 // BuildFeatureIndex bulk-loads the features into a fresh index of the
@@ -139,7 +145,7 @@ func BuildFeatureIndex(features []Feature, opts Options) (*FeatureIndex, error) 
 	if err != nil {
 		return nil, err
 	}
-	idx := &FeatureIndex{tree: tree, kind: opts.Kind, opts: opts, sigBits: opts.SignatureBits}
+	idx := &FeatureIndex{tree: tree, kind: opts.Kind, opts: opts, sigBits: opts.SignatureBits, sketch: approx.NewHolder()}
 	if idx.sigBits > 0 {
 		idx.records = newRecordFile(opts.VocabWidth, opts.PageSize, opts.BufferPages, opts.PoolStripes)
 		for _, f := range features {
@@ -208,6 +214,11 @@ func (x *FeatureIndex) Insert(f Feature) error {
 			return err
 		}
 	}
+	if x.sketch != nil {
+		if sk := x.sketch.Peek(); sk != nil {
+			sk.Put(f.ID, f.Keywords)
+		}
+	}
 	return x.tree.Insert(rtree.Item{ID: f.ID, Location: f.Location, Score: f.Score, Keywords: x.treeKeywords(f.Keywords)})
 }
 
@@ -216,6 +227,11 @@ func (x *FeatureIndex) Insert(f Feature) error {
 // is left behind: records are only consulted for ids surfaced from the
 // tree, so a stale record is unreachable.
 func (x *FeatureIndex) Delete(id int64, loc geo.Point) (bool, error) {
+	if x.sketch != nil {
+		if sk := x.sketch.Peek(); sk != nil {
+			sk.Delete(id)
+		}
+	}
 	return x.tree.Delete(id, loc)
 }
 
@@ -247,6 +263,9 @@ func (x *FeatureIndex) BeginMerge() (*FeatureIndex, error) {
 	c := *x
 	c.tree = tree
 	c.opts.Disk = cfg.Disk
+	// The clone mutates independently of the original; it must not share
+	// the original's sketch (pinned snapshots keep reading it).
+	c.sketch = approx.NewHolder()
 	return &c, nil
 }
 
@@ -323,6 +342,10 @@ type QueryKeywords struct {
 	Set    kwset.Set
 	Lambda float64
 	Sim    Similarity
+	// Approx, when non-nil, runs leaf resolution through the approximate
+	// fast tier (MinHash/LSH candidate pruning; see internal/approx). The
+	// request is shared by every view executing one logical query.
+	Approx *approx.Request
 }
 
 // Score returns the preference score s(t) of a leaf entry under Definition

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"stpq/internal/approx"
 	"stpq/internal/rtree"
 	"stpq/internal/storage"
 )
@@ -61,9 +62,10 @@ func OpenFeatureIndex(r io.Reader, meta Meta, bufferPages int) (*FeatureIndex, e
 		return nil, fmt.Errorf("index: open feature index: %w", err)
 	}
 	return &FeatureIndex{
-		tree: tree,
-		kind: meta.Kind,
-		opts: Options{Kind: meta.Kind, VocabWidth: meta.VocabWidth, PageSize: meta.PageSize, BufferPages: bufferPages},
+		tree:   tree,
+		kind:   meta.Kind,
+		opts:   Options{Kind: meta.Kind, VocabWidth: meta.VocabWidth, PageSize: meta.PageSize, BufferPages: bufferPages},
+		sketch: approx.NewHolder(),
 	}, nil
 }
 

@@ -3,7 +3,9 @@ package index
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
+	"stpq/internal/approx"
 	"stpq/internal/kwset"
 	"stpq/internal/rtree"
 	"stpq/internal/storage"
@@ -32,10 +34,19 @@ func hashSet(exact kwset.Set, bits int) kwset.Set {
 
 // PreparedQuery carries a query's textual part in both forms: the exact
 // keyword set (for final score computation) and the tree-side set — the
-// hashed signature in signature mode, the exact set otherwise.
+// hashed signature in signature mode, the exact set otherwise. For
+// approximate queries it additionally carries the query's MinHash
+// signature and cardinality (the LSH side of the prepared query).
 type PreparedQuery struct {
 	Exact QueryKeywords
 	Tree  QueryKeywords
+	// Approx aliases Exact.Approx for the fast-tier leaf resolution;
+	// MinSig and QueryCard are the lowered query-set sketch. MinSig is
+	// part-independent (package-level hash seeds), so one prepared query
+	// serves every part of a group and every shard identically.
+	Approx    *approx.Request
+	MinSig    approx.Signature
+	QueryCard int
 }
 
 // Prepare lowers query keywords for this index.
@@ -46,6 +57,11 @@ func (x *FeatureIndex) Prepare(q QueryKeywords) PreparedQuery {
 		if q.Set.IsEmpty() {
 			pq.Tree.Set = kwset.NewSet(x.sigBits)
 		}
+	}
+	if q.Approx != nil {
+		pq.Approx = q.Approx
+		pq.MinSig = approx.SignatureOf(q.Set)
+		pq.QueryCard = q.Set.Count()
 	}
 	return pq
 }
@@ -81,10 +97,20 @@ func (x *FeatureIndex) EntryBound(e rtree.Entry, pq PreparedQuery) float64 {
 	return (1-lambda)*e.Score + lambda
 }
 
-// ResolveLeaf returns the exact preference score s(t) of a leaf entry and
-// whether the feature is truly relevant. In signature mode this reads the
-// feature's record page (the verification I/O of a signature index).
+// ResolveLeaf returns the preference score s(t) of a leaf entry and
+// whether the feature is relevant. In exact mode (the default) both are
+// exact; in signature mode this reads the feature's record page (the
+// verification I/O of a signature index). Approximate queries
+// (pq.Approx non-nil) first run the LSH candidate filter, and in
+// signature mode with SkipVerify score candidates from the MinHash
+// similarity estimate instead of paying the verification read.
 func (x *FeatureIndex) ResolveLeaf(e rtree.Entry, pq PreparedQuery) (score float64, relevant bool, err error) {
+	if pq.Approx != nil {
+		s, rel, err, handled := x.resolveLeafApprox(e, pq)
+		if handled || err != nil {
+			return s, rel, err
+		}
+	}
 	if x.sigBits == 0 {
 		if !e.Keywords.Intersects(pq.Exact.Set) {
 			return 0, false, nil
@@ -100,6 +126,121 @@ func (x *FeatureIndex) ResolveLeaf(e rtree.Entry, pq PreparedQuery) (score float
 	}
 	s := (1-pq.Exact.Lambda)*e.Score + pq.Exact.Lambda*pq.Exact.Sim.Sim(exact, pq.Exact.Set)
 	return s, true, nil
+}
+
+// resolveLeafApprox is the fast-tier leaf resolution: check the feature's
+// MinHash signature against the query's under the request's banded-LSH
+// parameters, pruning non-candidates without touching exact keywords.
+// handled=false falls back to the exact path — either the sketch is
+// unavailable (unbuilt holder on a literal index, stale merge clone
+// missing this id) or the request keeps verification (SkipVerify off in
+// signature mode). Fallbacks only ever widen the candidate set, so an
+// approximate answer degrades toward exactness, never away from it.
+func (x *FeatureIndex) resolveLeafApprox(e rtree.Entry, pq PreparedQuery) (score float64, relevant bool, err error, handled bool) {
+	sk, err := x.sketchFor()
+	if err != nil {
+		return 0, false, err, true
+	}
+	if sk == nil {
+		return 0, false, nil, false
+	}
+	sig, card, ok := sk.Get(e.ItemID)
+	if !ok {
+		return 0, false, nil, false
+	}
+	a := pq.Approx
+	a.Candidates.Add(1)
+	if !a.Params.Candidate(&pq.MinSig, &sig) {
+		a.Pruned.Add(1)
+		return 0, false, nil, true
+	}
+	if x.sigBits == 0 {
+		// Exact keyword bitmaps are already in the tree entry: candidates
+		// score exactly for free, so approximation here is pure candidate
+		// pruning (CPU, no I/O at stake).
+		if !e.Keywords.Intersects(pq.Exact.Set) {
+			return 0, false, nil, true
+		}
+		return Score(e, pq.Exact), true, nil, true
+	}
+	if !a.Params.SkipVerify {
+		return 0, false, nil, false // verify candidates via the record file
+	}
+	a.SkippedReads.Add(1)
+	if card == 0 || pq.QueryCard == 0 {
+		return 0, false, nil, true
+	}
+	// A band agreed, so at least Rows positions match and the Jaccard
+	// estimate is positive — the feature counts as relevant with an
+	// estimated similarity. The estimate is ≤ 1, so the score stays under
+	// the signature-mode entry bound (1−λ)·e.s + λ and shard/cluster
+	// pruning remains admissible.
+	j := approx.EstimateJaccard(&pq.MinSig, &sig)
+	s := (1-pq.Exact.Lambda)*e.Score + pq.Exact.Lambda*estimateSim(pq.Exact.Sim, j, pq.QueryCard, card)
+	return s, true, nil, true
+}
+
+// estimateSim converts a MinHash Jaccard estimate to the query's
+// similarity measure using the two set cardinalities: the intersection
+// size follows from |A∩B| = J/(1+J)·(|A|+|B|). The implied intersection
+// is snapped to the nearest achievable integer first — keyword sets are
+// small, so the true intersection is a small integer and rounding removes
+// most of the estimation noise (the estimate only errs when its error
+// crosses a rounding boundary). Results are capped at 1.
+func estimateSim(sim Similarity, j float64, qCard, fCard int) float64 {
+	inter := math.Round(j / (1 + j) * float64(qCard+fCard))
+	if m := math.Min(float64(qCard), float64(fCard)); inter > m {
+		inter = m
+	}
+	if inter < 0 {
+		inter = 0
+	}
+	var s float64
+	switch sim {
+	case Dice:
+		s = 2 * inter / float64(qCard+fCard)
+	case Cosine:
+		s = inter / math.Sqrt(float64(qCard)*float64(fCard))
+	case Overlap:
+		s = inter / math.Min(float64(qCard), float64(fCard))
+	default: // Jaccard
+		s = inter / (float64(qCard+fCard) - inter)
+	}
+	if s > 1 {
+		s = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// sketchFor returns the index's MinHash sketch, building it from the
+// exact keyword sets on first use (one AllExact pass; in signature mode
+// that pays the record-file reads once per index generation). A nil
+// holder (an index assembled literally) yields a nil sketch and the
+// caller falls back to exact resolution.
+func (x *FeatureIndex) sketchFor() (*approx.Sketch, error) {
+	if x.sketch == nil {
+		return nil, nil
+	}
+	return x.sketch.Get(func() (*approx.Sketch, error) {
+		all, err := x.AllExact()
+		if err != nil {
+			return nil, err
+		}
+		s := approx.NewSketch()
+		for _, e := range all {
+			s.Put(e.ItemID, e.Keywords)
+		}
+		return s, nil
+	})
+}
+
+// Sketched reports whether the approximate tier's sketch for this index
+// has been materialized (tests and /info).
+func (x *FeatureIndex) Sketched() bool {
+	return x.sketch != nil && x.sketch.Peek() != nil
 }
 
 // recordFile stores each feature's exact keyword set in fixed-size

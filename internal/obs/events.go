@@ -53,6 +53,12 @@ type QueryEvent struct {
 	// scatter-gather (zero on unsharded engines).
 	ShardFanout,
 	ShardPruned int
+	// Mode is "approx" for fast-tier executions, "" for exact.
+	// ApproxCandidates/ApproxPruned are the tier's sketch checks and LSH
+	// rejections (zero in exact mode).
+	Mode             string
+	ApproxCandidates int64
+	ApproxPruned     int64
 	// CacheHit marks events recorded for serve-layer result-cache hits,
 	// which never touch the engine.
 	CacheHit bool
@@ -146,6 +152,11 @@ type ShapeKey struct {
 	RBucket int
 	// Sets counts the non-empty query keyword sets.
 	Sets int
+	// Mode is the execution mode dimension: "" for exact (the zero value,
+	// so shapes.json files exported before the approximate tier existed
+	// decode onto the exact shapes instead of polluting approx
+	// predictions), "approx" for the approximate fast tier.
+	Mode string `json:"Mode,omitempty"`
 }
 
 // noRadius is the RBucket sentinel for radius-free queries (NN variant).
@@ -176,8 +187,14 @@ func (k ShapeKey) String() string {
 			r = "r#" + strconv.Itoa(k.RBucket)
 		}
 	}
-	return k.Alg + "|" + k.Variant + "|" + k.Sim +
+	label := k.Alg + "|" + k.Variant + "|" + k.Sim +
 		"|k=" + strconv.Itoa(k.K) + "|" + r + "|sets=" + strconv.Itoa(k.Sets)
+	// Exact shapes keep their historical label (no mode segment), so
+	// dashboards and persisted statistics stay byte-stable.
+	if k.Mode != "" {
+		label += "|mode=" + k.Mode
+	}
+	return label
 }
 
 // shapeAgg accumulates per-shape totals. Fields are atomics so the hot

@@ -37,6 +37,14 @@ func Fingerprint(q stpq.Query) string {
 	b.WriteString(strconv.FormatFloat(q.Radius, 'x', -1, 64))
 	b.WriteString("|l")
 	b.WriteString(strconv.FormatFloat(q.Lambda, 'x', -1, 64))
+	if q.Mode == stpq.ModeApprox {
+		// Approx results live in their own cache namespace, keyed by the
+		// recall target: an approx answer must never satisfy an exact
+		// lookup (or one at a different recall), and exact fingerprints
+		// stay byte-identical to what they were before the fast tier.
+		b.WriteString("|m=approx|q")
+		b.WriteString(strconv.FormatFloat(q.Recall, 'x', -1, 64))
+	}
 	names := make([]string, 0, len(q.Keywords))
 	for name, kws := range q.Keywords {
 		if len(kws) > 0 {

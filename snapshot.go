@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"stpq/internal/approx"
 	"stpq/internal/core"
 	"stpq/internal/geo"
 	"stpq/internal/index"
@@ -142,6 +143,14 @@ func (s *Snapshot) TopK(q Query) ([]Result, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	if a := cq.Approx; a != nil {
+		// The request's counters hold the whole logical query's totals
+		// (shard sub-queries alias the same request), loaded exactly once
+		// here.
+		st.ApproxCandidates = a.Candidates.Load()
+		st.ApproxPruned = a.Pruned.Load()
+		st.ApproxSkippedReads = a.SkippedReads.Load()
+	}
 	// A trace collected only provisionally — so a slow-query capture would
 	// be complete — is not part of the answer unless the query actually
 	// crossed the threshold.
@@ -189,7 +198,7 @@ func (s *Snapshot) toCoreQuery(q Query) (core.Query, error) {
 	for i, name := range s.names {
 		kws[i] = s.vocab.LookupSet(q.Keywords[name]...)
 	}
-	return core.Query{
+	cq := core.Query{
 		K:          q.K,
 		Radius:     q.Radius,
 		Lambda:     q.Lambda,
@@ -198,7 +207,13 @@ func (s *Snapshot) toCoreQuery(q Query) (core.Query, error) {
 		Similarity: index.Similarity(q.Similarity),
 		RequestID:  q.RequestID,
 		Trace:      core.TraceMode(q.Trace),
-	}, nil
+	}
+	if q.Mode == ModeApprox {
+		// One request per logical query: shard fan-out and session copies
+		// alias it, so its atomic counters aggregate the whole execution.
+		cq.Approx = approx.NewRequest(q.Recall)
+	}
+	return cq, nil
 }
 
 // RecordCacheHit files an event record for a query answered from a

@@ -306,7 +306,28 @@ type Query struct {
 	// Trace is the query's explicit tracing decision, overriding the
 	// engine toggle and the sampler (default TraceDefault).
 	Trace TraceMode
+	// Mode selects the execution tier: "" or ModeExact runs the exact
+	// engine (the default — results pinned by the oracle suites), and
+	// ModeApprox runs the approximate fast tier, where MinHash/LSH
+	// candidate pruning trades up to 1−Recall of recall for latency.
+	Mode string
+	// Recall is the approximate tier's recall target in (0,1] — the
+	// probability that a minimally relevant feature survives the LSH
+	// candidate filter. 0 means the default (approx.DefaultRecall, 0.9).
+	// Only valid with Mode == ModeApprox. Higher targets keep more
+	// candidates (and, above 0.95, exact verification); lower targets
+	// prune harder and answer faster.
+	Recall float64
 }
+
+// Execution-mode names accepted by Query.Mode.
+const (
+	// ModeExact is the exact engine (the default; "" means the same).
+	ModeExact = "exact"
+	// ModeApprox is the approximate fast tier: MinHash/LSH textual
+	// candidate pruning under the query's Recall target.
+	ModeApprox = "approx"
+)
 
 // Result is one ranked data object.
 type Result struct {
@@ -331,6 +352,14 @@ type Stats struct {
 	// scatter-gather of a sharded DB; zero on unsharded DBs.
 	ShardFanout int
 	ShardPruned int
+	// ApproxCandidates, ApproxPruned and ApproxSkippedReads report the
+	// approximate tier's work on a Mode: ModeApprox query: leaf features
+	// checked against the MinHash sketch, those the LSH band filter
+	// rejected, and verification page reads the skip-verify path avoided.
+	// Zero in exact mode.
+	ApproxCandidates   int64
+	ApproxPruned       int64
+	ApproxSkippedReads int64
 	// Trace is the query's phase breakdown when tracing is enabled
 	// (Config.Tracing, DB.SetTracing, Query.Trace, or a sampling hit),
 	// nil otherwise.
@@ -774,17 +803,20 @@ func (db *DB) Score(q Query, x, y float64) (float64, error) {
 // fromCoreStats converts internal stats to the public type.
 func fromCoreStats(st core.Stats) Stats {
 	return Stats{
-		CPUTime:        st.CPUTime,
-		IOTime:         st.IOTime,
-		LogicalReads:   st.LogicalReads,
-		PhysicalReads:  st.PhysicalReads,
-		VoronoiCPUTime: st.VoronoiCPUTime,
-		VoronoiReads:   st.VoronoiReads,
-		Combinations:   st.Combinations,
-		FeaturesPulled: st.FeaturesPulled,
-		ObjectsScored:  st.ObjectsScored,
-		ShardFanout:    st.ShardFanout,
-		ShardPruned:    st.ShardPruned,
-		Trace:          fromObsSpan(st.Trace),
+		CPUTime:            st.CPUTime,
+		IOTime:             st.IOTime,
+		LogicalReads:       st.LogicalReads,
+		PhysicalReads:      st.PhysicalReads,
+		VoronoiCPUTime:     st.VoronoiCPUTime,
+		VoronoiReads:       st.VoronoiReads,
+		Combinations:       st.Combinations,
+		FeaturesPulled:     st.FeaturesPulled,
+		ObjectsScored:      st.ObjectsScored,
+		ShardFanout:        st.ShardFanout,
+		ShardPruned:        st.ShardPruned,
+		ApproxCandidates:   st.ApproxCandidates,
+		ApproxPruned:       st.ApproxPruned,
+		ApproxSkippedReads: st.ApproxSkippedReads,
+		Trace:              fromObsSpan(st.Trace),
 	}
 }
